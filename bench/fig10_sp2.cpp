@@ -1,0 +1,10 @@
+//===- bench/fig10_sp2.cpp - Paper Figure 10 (IBM SP-2) ---------------------===//
+
+#include "FigureCommon.h"
+
+#include <iostream>
+
+int main() {
+  alf::figures::printRuntimeFigure(alf::machine::ibmSP2(), std::cout);
+  return 0;
+}

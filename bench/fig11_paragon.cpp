@@ -1,0 +1,10 @@
+//===- bench/fig11_paragon.cpp - Paper Figure 11 (Intel Paragon) ------------===//
+
+#include "FigureCommon.h"
+
+#include <iostream>
+
+int main() {
+  alf::figures::printRuntimeFigure(alf::machine::intelParagon(), std::cout);
+  return 0;
+}

@@ -1,0 +1,10 @@
+//===- bench/fig9_t3e.cpp - Paper Figure 9 (Cray T3E) -----------------------===//
+
+#include "FigureCommon.h"
+
+#include <iostream>
+
+int main() {
+  alf::figures::printRuntimeFigure(alf::machine::crayT3E(), std::cout);
+  return 0;
+}

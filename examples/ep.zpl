@@ -1,0 +1,30 @@
+-- The NAS EP kernel in mini-ZPL: a pseudo-random deviate chain, two
+-- coordinate fields, acceptance tests and scalar reductions. Under c2
+-- every array contracts — the paper's Figure 7 reports EP as 22 arrays
+-- before contraction and zero after, so the compiled kernel's memory
+-- use is constant in the problem size.
+--
+--   ./build/examples/zplc examples/ep.zpl --explain --stats
+
+region Line : [1..65536];
+
+array u1, u2, u3, u4 : Line temp;
+array x, y            : Line temp;
+array q0, q1, q2      : Line temp;
+scalar seed, sx, sy, chk;
+
+[Line] u1 := seed * 0.5 + 0.25;
+[Line] u2 := u1 * 1.10351 + 0.12345;
+[Line] u3 := u2 * 1.10351 + 0.12345;
+[Line] u4 := u3 * 1.10351 + 0.12345;
+
+[Line] x := 2 * u3 - 1;
+[Line] y := 2 * u4 - 1;
+
+[Line] q0 := max(0, 1 - (x*x + y*y) * 0.1);
+[Line] q1 := max(0, 1 - (x*x + y*y) * 0.2);
+[Line] q2 := max(0, 1 - (x*x + y*y) * 0.3);
+
+[Line] sx  := + << x * q0;
+[Line] sy  := + << y * q1;
+[Line] chk := + << u1 + u2 + u3 + u4 + x + y + q0 + q1 + q2;

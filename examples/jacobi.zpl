@@ -1,0 +1,16 @@
+-- Jacobi relaxation in mini-ZPL: one smoothing step with a residual
+-- diagnostic. Compile with:
+--   ./build/examples/zplc examples/jacobi.zpl --dump-source --dump-asdg
+--
+-- Under the default c2 strategy, the temporary `res` contracts to a
+-- scalar inside the fused nest.
+
+region G : [1..64, 1..64];
+
+array u, unew : G;
+array res     : G temp;
+scalar omega, maxres;
+
+[G] res  := (u@(-1,0) + u@(1,0) + u@(0,-1) + u@(0,1)) * 0.25 - u;
+[G] unew := u + res * omega;
+[G] maxres := max << abs(res);

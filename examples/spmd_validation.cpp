@@ -1,0 +1,100 @@
+//===- examples/spmd_validation.cpp - Distributed execution demo --------------===//
+//
+// Compiles a mini-ZPL program, optimizes it with c2+f3, inserts halo
+// exchanges, and executes it BOTH sequentially and SPMD-style on a
+// simulated processor grid — verifying element-wise that the distributed
+// results match. This is the full distributed story of the paper's
+// setting: block distribution, compiler-inserted communication, fusion
+// and contraction, all checked against a sequential oracle.
+//
+// Run:  ./spmd_validation [procs]
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ASDG.h"
+#include "comm/CommInsertion.h"
+#include "distsim/DistInterpreter.h"
+#include "exec/Interpreter.h"
+#include "frontend/Parser.h"
+#include "ir/Normalize.h"
+#include "scalarize/Scalarize.h"
+#include "support/StringUtil.h"
+#include "support/TextTable.h"
+
+#include <cstdlib>
+#include <iostream>
+
+using namespace alf;
+
+namespace {
+
+const char *Source = R"(
+-- Two smoothing sweeps with a diagnostic reduction.
+region G : [1..48, 1..48];
+array u, v : G;
+array flux : G temp;
+
+[G] flux := (u@(-1,0) + u@(1,0) + u@(0,-1) + u@(0,1)) * 0.25;
+[G] v    := u + (flux - u) * 0.7;
+[G] u    := v + (v@(1,0) - v@(-1,0)) * 0.05;
+
+scalar energy;
+[G] energy := + << u * u;
+)";
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned Procs = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 4;
+
+  frontend::ParseResult Result = frontend::parseProgram(Source, "spmd-demo");
+  if (!Result.succeeded()) {
+    for (const std::string &E : Result.Errors)
+      std::cerr << E << '\n';
+    return 1;
+  }
+  ir::Program &P = *Result.Prog;
+  ir::normalizeProgram(P);
+
+  analysis::ASDG G = analysis::ASDG::build(P);
+  auto LP = scalarize::scalarizeWithStrategy(G, xform::Strategy::C2F3);
+  comm::CommPlan Plan = comm::insertLoopLevelComm(LP);
+
+  std::cout << "=== Compiled program ===\n" << LP.str();
+  std::cout << "\nhalo exchanges inserted: " << Plan.Exchanges
+            << " (redundant elided: " << Plan.RedundantElided << ")\n";
+
+  // Sequential oracle.
+  exec::RunResult Seq = exec::run(LP, 2026);
+
+  // Distributed execution on a p-processor grid.
+  machine::ProcGrid Grid = machine::ProcGrid::make(Procs, 2);
+  exec::RunResult Dist = distsim::runDistributed(LP, Grid, 2026);
+
+  std::cout << "\n=== SPMD execution on a " << Grid.Extents[0] << "x"
+            << Grid.Extents[1] << " grid ===\n";
+  TextTable Table;
+  Table.setHeader({"result", "sequential", "distributed"});
+  for (const auto &[Name, Data] : Seq.LiveOut) {
+    double SeqSum = 0, DistSum = 0;
+    for (double V : Data)
+      SeqSum += V;
+    for (double V : Dist.LiveOut.at(Name))
+      DistSum += V;
+    Table.addRow({Name, formatString("%.10g", SeqSum),
+                  formatString("%.10g", DistSum)});
+  }
+  for (const auto &[Name, V] : Seq.ScalarsOut)
+    Table.addRow({Name, formatString("%.10g", V),
+                  formatString("%.10g", Dist.ScalarsOut.at(Name))});
+  Table.print(std::cout);
+
+  std::string Why;
+  if (!exec::resultsMatch(Seq, Dist, 1e-9, &Why)) {
+    std::cerr << "\nMISMATCH: " << Why << '\n';
+    return 1;
+  }
+  std::cout << "\ndistributed results match the sequential oracle "
+               "element-wise.\n";
+  return 0;
+}

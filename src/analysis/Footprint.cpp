@@ -1,0 +1,82 @@
+//===- analysis/Footprint.cpp - Array allocation bounds --------------------===//
+
+#include "analysis/Footprint.h"
+
+#include <algorithm>
+
+using namespace alf;
+using namespace alf::analysis;
+using namespace alf::ir;
+
+namespace {
+
+/// Accumulates the union of shifted regions for one array.
+struct BoundsAccum {
+  bool Valid = false;
+  std::vector<int64_t> Lo;
+  std::vector<int64_t> Hi;
+
+  void include(const Region &R, const Offset &Off) {
+    if (!Valid) {
+      Lo.resize(R.rank());
+      Hi.resize(R.rank());
+      for (unsigned D = 0; D < R.rank(); ++D) {
+        Lo[D] = R.lo(D) + Off[D];
+        Hi[D] = R.hi(D) + Off[D];
+      }
+      Valid = true;
+      return;
+    }
+    for (unsigned D = 0; D < R.rank(); ++D) {
+      Lo[D] = std::min(Lo[D], R.lo(D) + Off[D]);
+      Hi[D] = std::max(Hi[D], R.hi(D) + Off[D]);
+    }
+  }
+
+  void include(const Region &R) { include(R, Offset::zero(R.rank())); }
+};
+
+} // namespace
+
+FootprintInfo FootprintInfo::compute(const ir::Program &P) {
+  std::vector<BoundsAccum> Accums(P.numSymbols());
+
+  for (const Stmt *S : P.stmts()) {
+    if (const auto *NS = dyn_cast<NormalizedStmt>(S)) {
+      const Region &R = *NS->getRegion();
+      Accums[NS->getLHS()->getId()].include(R, NS->getLHSOffset());
+      for (const ArrayRefExpr *Ref : NS->rhsArrayRefs())
+        Accums[Ref->getSymbol()->getId()].include(R, Ref->getOffset());
+      continue;
+    }
+    if (const auto *RS = dyn_cast<ReduceStmt>(S)) {
+      const Region &R = *RS->getRegion();
+      for (const ArrayRefExpr *Ref : RS->bodyArrayRefs())
+        Accums[Ref->getSymbol()->getId()].include(R, Ref->getOffset());
+      continue;
+    }
+    if (const auto *OS = dyn_cast<OpaqueStmt>(S)) {
+      if (!OS->getRegion())
+        continue;
+      const Region &R = *OS->getRegion();
+      for (const ArraySymbol *A : OS->arrayReads())
+        if (A->getRank() == R.rank())
+          Accums[A->getId()].include(R);
+      for (const ArraySymbol *A : OS->arrayWrites())
+        if (A->getRank() == R.rank())
+          Accums[A->getId()].include(R);
+    }
+    // Communication statements transfer halo data for offsets that some
+    // normalized statement already references; they add no new footprint.
+  }
+
+  FootprintInfo Info;
+  for (const ArraySymbol *A : P.arrays()) {
+    BoundsAccum &Acc = Accums[A->getId()];
+    if (!Acc.Valid)
+      continue;
+    Info.Bounds.emplace(A->getId(),
+                        Region(std::move(Acc.Lo), std::move(Acc.Hi)));
+  }
+  return Info;
+}

@@ -1,0 +1,67 @@
+//===- analysis/Liveness.cpp - Array live ranges ---------------------------===//
+
+#include "analysis/Liveness.h"
+
+#include <algorithm>
+
+using namespace alf;
+using namespace alf::analysis;
+using namespace alf::ir;
+
+LivenessInfo LivenessInfo::compute(const ir::Program &P) {
+  LivenessInfo Info;
+  Info.NumStmts = P.numStmts();
+
+  // First/last reference position per array.
+  struct Range {
+    int First = -1;
+    int Last = -1;
+  };
+  std::vector<Range> Ranges(P.numSymbols());
+
+  for (unsigned Pos = 0; Pos < P.numStmts(); ++Pos) {
+    std::vector<Access> Accs;
+    P.getStmt(Pos)->getAccesses(Accs);
+    for (const Access &A : Accs) {
+      if (!isa<ArraySymbol>(A.Sym))
+        continue;
+      Range &R = Ranges[A.Sym->getId()];
+      if (R.First < 0)
+        R.First = static_cast<int>(Pos);
+      R.Last = static_cast<int>(Pos);
+    }
+  }
+
+  unsigned LastPos = P.numStmts() == 0 ? 0 : P.numStmts() - 1;
+  for (const ArraySymbol *A : P.arrays()) {
+    const Range &R = Ranges[A->getId()];
+    bool Referenced = R.First >= 0;
+    if (!Referenced && !A->isLiveIn() && !A->isLiveOut())
+      continue; // never materialized
+    unsigned First =
+        A->isLiveIn() ? 0u
+                      : (Referenced ? static_cast<unsigned>(R.First) : 0u);
+    unsigned Last = A->isLiveOut()
+                        ? LastPos
+                        : (Referenced ? static_cast<unsigned>(R.Last) : 0u);
+    Info.Intervals.push_back(LiveInterval{A, First, Last});
+  }
+  return Info;
+}
+
+unsigned LivenessInfo::peakLive(
+    const std::function<bool(const ir::ArraySymbol *)> &Filter) const {
+  unsigned Peak = 0;
+  for (unsigned Pos = 0; Pos <= (NumStmts == 0 ? 0 : NumStmts - 1); ++Pos) {
+    unsigned Count = 0;
+    for (const LiveInterval &I : Intervals)
+      if (I.First <= Pos && Pos <= I.Last && Filter(I.Array))
+        ++Count;
+    Peak = std::max(Peak, Count);
+  }
+  return Peak;
+}
+
+unsigned LivenessInfo::peakLive() const {
+  return peakLive([](const ArraySymbol *) { return true; });
+}

@@ -1,0 +1,61 @@
+//===- analysis/Liveness.h - Array live ranges -----------------*- C++ -*-===//
+//
+// Part of the ALF project: array-level fusion and contraction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes the allocation interval of every array in a Program and the
+/// peak number of simultaneously live (allocated) arrays — the paper's `l`
+/// in section 5.3: "maximum problem size is inversely proportional to the
+/// maximum number of simultaneously live arrays". The paper's Figure 8
+/// compares this quantity before (`lb`) and after (`la`) contraction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALF_ANALYSIS_LIVENESS_H
+#define ALF_ANALYSIS_LIVENESS_H
+
+#include "ir/Program.h"
+
+#include <functional>
+#include <vector>
+
+namespace alf {
+namespace analysis {
+
+/// The allocation interval of one array: the array must hold storage from
+/// statement position First through Last (inclusive). Live-in arrays start
+/// at position 0, live-out arrays extend to the last statement.
+struct LiveInterval {
+  const ir::ArraySymbol *Array = nullptr;
+  unsigned First = 0;
+  unsigned Last = 0;
+};
+
+/// Live intervals of every allocated array in a program.
+class LivenessInfo {
+  std::vector<LiveInterval> Intervals;
+  unsigned NumStmts = 0;
+
+public:
+  /// Computes intervals. Arrays that are never referenced and not
+  /// live-in/live-out need no storage and get no interval.
+  static LivenessInfo compute(const ir::Program &P);
+
+  const std::vector<LiveInterval> &intervals() const { return Intervals; }
+
+  /// Peak number of arrays simultaneously allocated, over arrays accepted
+  /// by \p Filter (pass an always-true filter for the paper's `lb`; filter
+  /// out contracted arrays for `la`).
+  unsigned
+  peakLive(const std::function<bool(const ir::ArraySymbol *)> &Filter) const;
+
+  /// Peak over all arrays.
+  unsigned peakLive() const;
+};
+
+} // namespace analysis
+} // namespace alf
+
+#endif // ALF_ANALYSIS_LIVENESS_H

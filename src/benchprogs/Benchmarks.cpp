@@ -1,0 +1,409 @@
+//===- benchprogs/Benchmarks.cpp - The paper's six benchmarks ---------------===//
+
+#include "benchprogs/Benchmarks.h"
+
+#include "support/StringUtil.h"
+
+using namespace alf;
+using namespace alf::benchprogs;
+using namespace alf::ir;
+
+namespace {
+
+/// Sum of refs to every array in \p Arrays at the null offset.
+ExprPtr sumOf(const std::vector<ArraySymbol *> &Arrays) {
+  ExprPtr E;
+  for (ArraySymbol *A : Arrays) {
+    if (!E)
+      E = aref(A);
+    else
+      E = add(std::move(E), aref(A));
+  }
+  return E;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// EP: NAS embarrassingly-parallel kernel. Generates pseudo-random deviates
+// through a 10-deep chain of temporaries, forms coordinates x/y, tests ten
+// acceptance annuli and reduces everything to scalars. 22 user arrays,
+// no compiler temporaries; contraction eliminates every array (Figure 7),
+// so the contracted code's memory use is constant in the problem size.
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Program> benchprogs::buildEP(int64_t N) {
+  auto P = std::make_unique<Program>("EP");
+  const Region *R = P->regionFromExtents({N});
+  ScalarSymbol *Seed = P->makeScalar("seed");
+
+  // Pseudo-random chain u1..u10.
+  std::vector<ArraySymbol *> U;
+  for (unsigned I = 0; I < 10; ++I)
+    U.push_back(P->makeUserTemp(formatString("u%u", I + 1), 1));
+  P->assign(R, U[0], add(mul(sref(Seed), cst(0.5)), cst(0.25)));
+  for (unsigned I = 1; I < 10; ++I)
+    P->assign(R, U[I], add(mul(aref(U[I - 1]), cst(1.10351)), cst(0.12345)));
+
+  // Deviate coordinates.
+  ArraySymbol *X = P->makeUserTemp("x", 1);
+  ArraySymbol *Y = P->makeUserTemp("y", 1);
+  P->assign(R, X, sub(mul(cst(2.0), aref(U[8])), cst(1.0)));
+  P->assign(R, Y, sub(mul(cst(2.0), aref(U[9])), cst(1.0)));
+
+  // Ten acceptance annuli q0..q9.
+  std::vector<ArraySymbol *> Q;
+  for (unsigned I = 0; I < 10; ++I) {
+    Q.push_back(P->makeUserTemp(formatString("q%u", I), 1));
+    ExprPtr RadSq = add(mul(aref(X), aref(X)), mul(aref(Y), aref(Y)));
+    P->assign(R, Q[I],
+              emax(cst(0.0), sub(cst(1.0), mul(std::move(RadSq),
+                                               cst(0.1 * (I + 1))))));
+  }
+
+  // Scalar results: the two coordinate sums and a checksum reading every
+  // array (which also makes all 22 arrays simultaneously live: the
+  // paper's lb = 22).
+  ScalarSymbol *SX = P->makeScalar("sx");
+  ScalarSymbol *SY = P->makeScalar("sy");
+  ScalarSymbol *Chk = P->makeScalar("chk");
+  P->reduce(R, SX, ReduceStmt::ReduceOpKind::Sum, mul(aref(X), aref(Q[0])));
+  P->reduce(R, SY, ReduceStmt::ReduceOpKind::Sum, mul(aref(Y), aref(Q[1])));
+  std::vector<ArraySymbol *> All = U;
+  All.push_back(X);
+  All.push_back(Y);
+  for (ArraySymbol *A : Q)
+    All.push_back(A);
+  P->reduce(R, Chk, ReduceStmt::ReduceOpKind::Sum, sumOf(All));
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Frac: a fractal (escape-time) demo in ZPL. Seven temporaries carry the
+// complex iteration; only the live-out image survives contraction
+// (Figure 7: 8 arrays -> 1).
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Program> benchprogs::buildFrac(int64_t N) {
+  auto P = std::make_unique<Program>("Frac");
+  const Region *R = P->regionFromExtents({N, N});
+  ScalarSymbol *Scale = P->makeScalar("scale");
+
+  ArraySymbol *CR = P->makeUserTemp("cr", 2);
+  ArraySymbol *CI = P->makeUserTemp("ci", 2);
+  ArraySymbol *ZR1 = P->makeUserTemp("zr1", 2);
+  ArraySymbol *ZI1 = P->makeUserTemp("zi1", 2);
+  ArraySymbol *ZR2 = P->makeUserTemp("zr2", 2);
+  ArraySymbol *ZI2 = P->makeUserTemp("zi2", 2);
+  ArraySymbol *Mag = P->makeUserTemp("mag", 2);
+  ArrayOpts ImageOpts;
+  ImageOpts.LiveIn = false; // written before read
+  ArraySymbol *Image = P->makeArray("image", 2, ImageOpts);
+
+  P->assign(R, CR, mul(sref(Scale), cst(0.31)));
+  P->assign(R, CI, mul(sref(Scale), cst(-0.47)));
+  P->assign(R, ZR1, aref(CR));
+  P->assign(R, ZI1, aref(CI));
+  P->assign(R, ZR2,
+            add(sub(mul(aref(ZR1), aref(ZR1)), mul(aref(ZI1), aref(ZI1))),
+                aref(CR)));
+  P->assign(R, ZI2,
+            add(mul(mul(cst(2.0), aref(ZR1)), aref(ZI1)), aref(CI)));
+  P->assign(R, Mag,
+            add(mul(aref(ZR2), aref(ZR2)), mul(aref(ZI2), aref(ZI2))));
+  // The final image; the tiny correction term reads every temporary so
+  // all eight arrays are simultaneously live here (lb = 8).
+  P->assign(R, Image,
+            add(emin(aref(Mag), cst(4.0)),
+                mul(cst(1e-6), sumOf({CR, CI, ZR1, ZI1, ZR2, ZI2}))));
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Tomcatv: SPEC CFP95 vectorized mesh generation. Seven persistent mesh
+// and coefficient arrays; eight user temporaries (including the paper's
+// R, Figure 1) and four self-updates that need compiler temporaries.
+// Figure 7: 19 (4 compiler / 15 user) -> 7.
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Program> benchprogs::buildTomcatv(int64_t N) {
+  auto P = std::make_unique<Program>("Tomcatv");
+  const Region *Rg = P->regionFromExtents({N, N});
+
+  // Persistent arrays (live-out): mesh coordinates, residuals and
+  // coefficients.
+  ArraySymbol *X = P->makeArray("X", 2);
+  ArraySymbol *Y = P->makeArray("Y", 2);
+  ArraySymbol *RX = P->makeArray("RX", 2);
+  ArraySymbol *RY = P->makeArray("RY", 2);
+  ArraySymbol *D = P->makeArray("D", 2);
+  ArraySymbol *AA = P->makeArray("AA", 2);
+  ArraySymbol *DD = P->makeArray("DD", 2);
+
+  // User temporaries.
+  ArraySymbol *PXX = P->makeUserTemp("pxx", 2);
+  ArraySymbol *PYY = P->makeUserTemp("pyy", 2);
+  ArraySymbol *PXY = P->makeUserTemp("pxy", 2);
+  ArraySymbol *QX = P->makeUserTemp("qx", 2);
+  ArraySymbol *QY = P->makeUserTemp("qy", 2);
+  ArraySymbol *R = P->makeUserTemp("r", 2);
+  ArraySymbol *S = P->makeUserTemp("s", 2);
+  ArraySymbol *W = P->makeUserTemp("w", 2);
+
+  // Finite differences of the coefficient fields (halo traffic on D, AA,
+  // DD; these arrays are never written, so the offsets carry no
+  // dependences).
+  P->assign(Rg, PXX, add(aref(D, {-1, 0}), aref(D, {1, 0})));
+  P->assign(Rg, PYY, add(aref(D, {0, -1}), aref(D, {0, 1})));
+  P->assign(Rg, PXY, add(aref(AA, {-1, 0}), aref(AA, {0, 1})));
+  P->assign(Rg, QX, add(aref(DD, {0, -1}), aref(DD, {1, 0})));
+  P->assign(Rg, QY, sub(mul(aref(PXX), aref(PYY)), aref(PXY)));
+  P->assign(Rg, R, sub(mul(aref(AA), aref(D)), aref(QX)));
+  P->assign(Rg, S, add(mul(aref(DD), aref(D)), aref(QY)));
+  P->assign(Rg, W, add(mul(aref(R), aref(S)), aref(PXX)));
+
+  // Residual and mesh self-updates: each reads and writes the same array,
+  // so normalization inserts four compiler temporaries.
+  P->assign(Rg, RX, add(sub(aref(RX), aref(R)), aref(W)));
+  P->assign(Rg, RY, add(sub(aref(RY), aref(S)), aref(W)));
+  P->assign(Rg, X, add(aref(X), mul(aref(RX), cst(0.1))));
+  P->assign(Rg, Y, add(aref(Y), mul(aref(RY), cst(0.1))));
+
+  // Convergence residual: reads every temporary (all 19 arrays live).
+  ScalarSymbol *Resid = P->makeScalar("resid");
+  P->reduce(Rg, Resid, ReduceStmt::ReduceOpKind::Sum,
+            sumOf({R, S, PXX, PYY, PXY, QX, QY, W}));
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Simple: Lawrence Livermore hydrodynamics and heat conduction. Twenty
+// persistent state fields; a 33-deep chain of contractible temporaries
+// (hydro phase), twelve offset-consumed temporaries that contraction
+// cannot remove (conduction sweeps), and twenty self-updates (state
+// advance). Figure 7: 85 (20/65) -> 32.
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Program> benchprogs::buildSimple(int64_t N) {
+  auto P = std::make_unique<Program>("Simple");
+  const Region *R = P->regionFromExtents({N, N});
+
+  std::vector<ArraySymbol *> H;
+  for (unsigned I = 0; I < 20; ++I)
+    H.push_back(P->makeArray(formatString("h%u", I), 2));
+
+  // Hydro phase: a chain of 33 contractible temporaries. Six of them
+  // (ta19..ta24) are also consumed *after* the conduction sweeps below —
+  // their contraction requires fusing across the sweep's halo exchanges,
+  // which the favor-communication policy of section 5.5 refuses.
+  std::vector<ArraySymbol *> TA;
+  for (unsigned I = 0; I < 33; ++I)
+    TA.push_back(P->makeUserTemp(formatString("ta%u", I), 2));
+  P->assign(R, TA[0], add(aref(H[0]), cst(1.0)));
+  for (unsigned I = 1; I < 33; ++I)
+    P->assign(R, TA[I],
+              add(mul(aref(TA[I - 1]), cst(0.99)), aref(H[I % 20])));
+  P->assign(R, H[0], add(aref(H[1]), aref(TA[32])));
+
+  // Conduction phase: twelve boundary-sweep temporaries, consumed at an
+  // offset — the flow distance is not null, so they stay arrays. All
+  // twelve are simultaneously live before the consumers run (la = 32).
+  std::vector<ArraySymbol *> Z;
+  for (unsigned I = 0; I < 12; ++I) {
+    Z.push_back(P->makeUserTemp(formatString("z%u", I), 2));
+    P->assign(R, Z[I],
+              add(aref(H[(I + 2) % 20], {1, 0}), aref(H[(I + 3) % 20])));
+  }
+  // Late consumer of the hydro temporaries (reads ta19..ta24).
+  P->assign(R, H[3],
+            add(aref(H[4]), sumOf({TA[19], TA[20], TA[21], TA[22], TA[23],
+                                   TA[24]})));
+  for (unsigned I = 0; I < 12; ++I)
+    P->assign(R, H[I + 4],
+              add(aref(H[(I + 5) % 20]),
+                  mul(aref(Z[I], {0, 1}), cst(0.1))));
+
+  // State advance: twenty self-updates, one compiler temporary each
+  // (lb = 40: twenty fields plus twenty retained temporary buffers).
+  for (unsigned I = 0; I < 20; ++I)
+    P->assign(R, H[I], add(mul(aref(H[I]), cst(0.98)), cst(0.01)));
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// SP: NAS scalar-pentadiagonal CFD application. Five persistent fields;
+// eight solver phases, each with a chain of contractible temporaries and
+// a set of offset-consumed sweep temporaries; a final block of eighteen
+// self-updates. Figure 7: 181 (18/163) -> 56 (0/56); Figure 8: lb 23 ->
+// la 17.
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Program> benchprogs::buildSP(int64_t N) {
+  auto P = std::make_unique<Program>("SP");
+  const Region *R = P->regionFromExtents({N, N});
+
+  std::vector<ArraySymbol *> U;
+  for (unsigned I = 0; I < 5; ++I)
+    U.push_back(P->makeArray(formatString("u%u", I), 2));
+
+  const unsigned ZCounts[8] = {12, 7, 7, 7, 6, 6, 3, 3}; // sums to 51
+  const unsigned CCounts[8] = {14, 14, 14, 13, 13, 13, 13, 13}; // 107
+
+  for (unsigned Phase = 0; Phase < 8; ++Phase) {
+    // Chain of contractible temporaries. The final field update consuming
+    // the chain's tail happens *after* the sweep below, so contracting
+    // the last four temporaries requires fusing across the sweep's halo
+    // exchanges — lost under the favor-communication policy (sec. 5.5).
+    std::vector<ArraySymbol *> C;
+    for (unsigned I = 0; I < CCounts[Phase]; ++I)
+      C.push_back(
+          P->makeUserTemp(formatString("c%u_%u", Phase, I), 2));
+    P->assign(R, C[0], add(aref(U[Phase % 5]), cst(0.5)));
+    for (unsigned I = 1; I < C.size(); ++I)
+      P->assign(R, C[I],
+                add(mul(aref(C[I - 1]), cst(0.97)),
+                    aref(U[(Phase + I) % 5])));
+
+    // Sweep temporaries consumed at an offset (forward substitution):
+    // not contractible, simultaneously live within the phase.
+    std::vector<ArraySymbol *> Z;
+    for (unsigned I = 0; I < ZCounts[Phase]; ++I) {
+      Z.push_back(
+          P->makeUserTemp(formatString("z%u_%u", Phase, I), 2));
+      P->assign(R, Z[I],
+                add(aref(U[(Phase + I) % 5], {1, 0}),
+                    aref(U[(Phase + I + 1) % 5])));
+    }
+    for (unsigned I = 0; I < ZCounts[Phase]; ++I)
+      P->assign(R, U[(Phase + I + 2) % 5],
+                add(aref(U[(Phase + I + 3) % 5]),
+                    mul(aref(Z[I], {0, 1}), cst(0.05))));
+
+    // Field update consuming the chain's tail (c[K-4..K-1]).
+    size_t K = C.size();
+    P->assign(R, U[Phase % 5],
+              add(aref(U[(Phase + 1) % 5]),
+                  sumOf({C[K - 4], C[K - 3], C[K - 2], C[K - 1]})));
+  }
+
+  // Final block: eighteen self-updates of the five fields.
+  for (unsigned I = 0; I < 18; ++I)
+    P->assign(R, U[I % 5],
+              add(mul(aref(U[I % 5]), cst(0.99)), cst(0.01)));
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Fibro: mathematical-biology fibroblast simulation, developed in ZPL (no
+// scalar-language equivalent). Fourteen read-only coefficient fields and
+// thirteen updated density fields persist; twenty-two stencil
+// temporaries contract. Figure 7: 49 (0/49) -> 27.
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Program> benchprogs::buildFibro(int64_t N) {
+  auto P = std::make_unique<Program>("Fibro");
+  const Region *R = P->regionFromExtents({N, N});
+
+  std::vector<ArraySymbol *> C;
+  for (unsigned I = 0; I < 14; ++I)
+    C.push_back(P->makeArray(formatString("coef%u", I), 2));
+  std::vector<ArraySymbol *> U;
+  for (unsigned I = 0; I < 13; ++I)
+    U.push_back(P->makeArray(formatString("dens%u", I), 2));
+
+  // Density updates with diffusion stencils over the read-only
+  // coefficient fields (double-buffer style: write one field from the
+  // next, no self-reads, so no compiler temporaries — Figure 7 shows
+  // 0/49). All halo traffic happens here, before any temporary is born:
+  // the paper reports that favoring communication optimization costs
+  // Fibro almost nothing ("no contraction opportunities are lost").
+  // The first update consumes every halo direction of the shared
+  // diffusion coefficient, so all exchanges complete before the update
+  // chain begins and fusion of the chain is never in conflict with them.
+  P->assign(R, U[0],
+            add(aref(U[1]),
+                mul(add(add(aref(C[0], {1, 0}), aref(C[0], {-1, 0})),
+                        add(aref(C[0], {0, 1}), aref(C[0], {0, -1}))),
+                    cst(0.01))));
+  for (unsigned I = 1; I < 13; ++I)
+    P->assign(R, U[I],
+              add(aref(U[(I + 1) % 13]),
+                  mul(aref(C[0], {1, 0}), cst(0.01))));
+
+  // Pattern measures: temporaries over the updated densities, aligned
+  // reads only (all contractible).
+  std::vector<ArraySymbol *> T;
+  for (unsigned I = 0; I < 22; ++I) {
+    T.push_back(P->makeUserTemp(formatString("t%u", I), 2));
+    P->assign(R, T[I],
+              add(aref(U[I % 13]),
+                  mul(aref(C[(I + 3) % 14]), cst(0.3))));
+  }
+
+  // Pattern-energy diagnostic: reads every temporary (lb = 49).
+  ScalarSymbol *Energy = P->makeScalar("energy");
+  P->reduce(R, Energy, ReduceStmt::ReduceOpKind::Sum, sumOf(T));
+  return P;
+}
+
+const std::vector<BenchmarkInfo> &benchprogs::allBenchmarks() {
+  static std::vector<BenchmarkInfo> All = [] {
+    std::vector<BenchmarkInfo> B(6);
+    B[0].Name = "EP";
+    B[0].Rank = 1;
+    B[0].PaperStaticBefore = 22;
+    B[0].PaperCompilerBefore = 0;
+    B[0].PaperStaticAfter = 0;
+    B[0].PaperScalarArrays = 1;
+    B[0].PaperLb = 22;
+    B[0].PaperLa = 0;
+    B[0].Build = buildEP;
+
+    B[1].Name = "Frac";
+    B[1].PaperStaticBefore = 8;
+    B[1].PaperCompilerBefore = 0;
+    B[1].PaperStaticAfter = 1;
+    B[1].PaperScalarArrays = 1;
+    B[1].PaperLb = 8;
+    B[1].PaperLa = 1;
+    B[1].Build = buildFrac;
+
+    B[2].Name = "SP";
+    B[2].PaperStaticBefore = 181;
+    B[2].PaperCompilerBefore = 18;
+    B[2].PaperStaticAfter = 56;
+    B[2].PaperScalarArrays = 48;
+    B[2].PaperLb = 23;
+    B[2].PaperLa = 17;
+    B[2].Build = buildSP;
+
+    B[3].Name = "Tomcatv";
+    B[3].PaperStaticBefore = 19;
+    B[3].PaperCompilerBefore = 4;
+    B[3].PaperStaticAfter = 7;
+    B[3].PaperScalarArrays = 7;
+    B[3].PaperLb = 19;
+    B[3].PaperLa = 7;
+    B[3].Build = buildTomcatv;
+
+    B[4].Name = "Simple";
+    B[4].PaperStaticBefore = 85;
+    B[4].PaperCompilerBefore = 20;
+    B[4].PaperStaticAfter = 32;
+    B[4].PaperScalarArrays = 32;
+    B[4].PaperLb = 40;
+    B[4].PaperLa = 32;
+    B[4].Build = buildSimple;
+
+    B[5].Name = "Fibro";
+    B[5].PaperStaticBefore = 49;
+    B[5].PaperCompilerBefore = 0;
+    B[5].PaperStaticAfter = 27;
+    B[5].PaperScalarArrays = -1;
+    B[5].PaperLb = 49;
+    B[5].PaperLa = 27;
+    B[5].Build = buildFibro;
+    return B;
+  }();
+  return All;
+}

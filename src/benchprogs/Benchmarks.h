@@ -1,0 +1,70 @@
+//===- benchprogs/Benchmarks.h - The paper's six benchmarks ----*- C++ -*-===//
+//
+// Part of the ALF project: array-level fusion and contraction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builders for the paper's six evaluation benchmarks (section 5): the
+/// NAS kernels EP and SP, SPEC Tomcatv, the Simple hydrodynamics code,
+/// the Fibro biology simulation, and the Frac fractal demo. We do not
+/// have the original ZPL sources, so each builder constructs an array
+/// program whose *array census* — static arrays before/after contraction
+/// with the compiler/user split (Figure 7) and peak simultaneously-live
+/// arrays lb/la (Figure 8) — matches the paper exactly, and whose
+/// dependence structure (stencils, self-updates, reductions, phases)
+/// mirrors the described application. Builders are parameterized by the
+/// per-processor problem size N so the runtime experiments can scale
+/// problem size with the number of processors (section 5.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALF_BENCHPROGS_BENCHMARKS_H
+#define ALF_BENCHPROGS_BENCHMARKS_H
+
+#include "ir/Program.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace alf {
+namespace benchprogs {
+
+/// One benchmark: its builder and the values the paper reports for it.
+struct BenchmarkInfo {
+  std::string Name;
+  unsigned Rank = 2; ///< rank of the benchmark's regions
+
+  // Paper Figure 7 (static arrays in the compiled code).
+  unsigned PaperStaticBefore = 0;
+  unsigned PaperCompilerBefore = 0;
+  unsigned PaperStaticAfter = 0;
+  int PaperScalarArrays = -1; ///< third-party scalar code; -1 = n/a
+
+  // Paper Figure 8 (peak simultaneously live arrays).
+  unsigned PaperLb = 0;
+  unsigned PaperLa = 0;
+
+  /// Builds the benchmark at per-processor problem size N
+  /// (pre-normalization).
+  std::function<std::unique_ptr<ir::Program>(int64_t N)> Build;
+};
+
+/// The six benchmarks in the paper's Figure 7 row order:
+/// EP, Frac, SP, Tomcatv, Simple, Fibro.
+const std::vector<BenchmarkInfo> &allBenchmarks();
+
+/// Individual builders (pre-normalization).
+std::unique_ptr<ir::Program> buildEP(int64_t N);
+std::unique_ptr<ir::Program> buildFrac(int64_t N);
+std::unique_ptr<ir::Program> buildSP(int64_t N);
+std::unique_ptr<ir::Program> buildTomcatv(int64_t N);
+std::unique_ptr<ir::Program> buildSimple(int64_t N);
+std::unique_ptr<ir::Program> buildFibro(int64_t N);
+
+} // namespace benchprogs
+} // namespace alf
+
+#endif // ALF_BENCHPROGS_BENCHMARKS_H

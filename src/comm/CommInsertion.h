@@ -1,0 +1,65 @@
+//===- comm/CommInsertion.h - Communication generation ---------*- C++ -*-===//
+//
+// Part of the ALF project: array-level fusion and contraction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Communication generation and optimization under a block distribution
+/// of every array dimension. A reference `A@d` with `d[k] != 0` requires
+/// the halo of A along dimension k (width |d[k]|, direction sign(d[k]))
+/// to be valid; a write to A invalidates all of A's halos.
+///
+/// Two interaction policies from the paper (section 5.5):
+///
+///  * **Favor fusion** (`insertLoopLevelComm`): fusion and contraction run
+///    on the communication-free ASDG; exchanges are inserted afterwards,
+///    immediately before each consuming loop nest. Message vectorization
+///    (one message per boundary per nest) and redundancy elimination
+///    (halos stay valid until the array is rewritten) are performed;
+///    pipelining gets little room because sends sit next to receives.
+///
+///  * **Favor communication** (`insertArrayLevelComm`): exchanges are
+///    inserted into the *array program* before fusion, split into
+///    send/recv pairs hoisted apart for overlap. The communication
+///    statements then participate in the ASDG; since they cannot fuse,
+///    GROW pulls them into candidate merges and disables many fusions —
+///    exactly the contraction loss the paper measures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALF_COMM_COMMINSERTION_H
+#define ALF_COMM_COMMINSERTION_H
+
+#include "ir/Program.h"
+#include "scalarize/LoopIR.h"
+
+namespace alf {
+namespace comm {
+
+/// Statistics of a communication insertion pass.
+struct CommPlan {
+  unsigned Exchanges = 0;        ///< CommOps / CommStmt pairs inserted.
+  unsigned RedundantElided = 0;  ///< Needed halos already valid.
+};
+
+/// The halo directions required by one normalized statement: one vector
+/// per (array, dimension, sign), with the maximum width referenced.
+/// Contracted arrays never appear (their references are loop-local).
+std::vector<std::pair<const ir::ArraySymbol *, ir::Offset>>
+requiredHalos(const ir::NormalizedStmt &S);
+
+/// Favor-fusion policy: inserts whole-exchange CommOps into a scalarized
+/// program, before each nest that consumes a stale halo.
+CommPlan insertLoopLevelComm(lir::LoopProgram &LP);
+
+/// Favor-communication policy: inserts CommStmts into the array program
+/// before fusion. With \p Pipelined, each exchange is split into a send
+/// placed right after the producing statement and a receive right before
+/// the first consumer, maximizing overlap.
+CommPlan insertArrayLevelComm(ir::Program &P, bool Pipelined = true);
+
+} // namespace comm
+} // namespace alf
+
+#endif // ALF_COMM_COMMINSERTION_H

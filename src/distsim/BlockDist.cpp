@@ -1,0 +1,49 @@
+//===- distsim/BlockDist.cpp - Block distribution geometry -----------------===//
+
+#include "distsim/BlockDist.h"
+
+#include <cassert>
+
+using namespace alf;
+using namespace alf::distsim;
+using namespace alf::machine;
+
+BlockRange distsim::blockSlice(int64_t Lo, int64_t Hi, unsigned Parts,
+                               unsigned Part) {
+  assert(Parts > 0 && Part < Parts && "bad block partition");
+  int64_t Extent = Hi - Lo + 1;
+  if (Extent <= 0)
+    return BlockRange{Lo, Lo - 1};
+  int64_t Base = Extent / Parts;
+  int64_t Rem = Extent % Parts;
+  int64_t Start = Lo + static_cast<int64_t>(Part) * Base +
+                  std::min<int64_t>(Part, Rem);
+  int64_t Size = Base + (static_cast<int64_t>(Part) < Rem ? 1 : 0);
+  return BlockRange{Start, Start + Size - 1};
+}
+
+std::vector<unsigned> distsim::procCoords(const ProcGrid &Grid,
+                                          unsigned Rank) {
+  std::vector<unsigned> Coords(Grid.Extents.size(), 0);
+  unsigned Rest = Rank;
+  for (size_t D = Grid.Extents.size(); D-- > 0;) {
+    Coords[D] = Rest % Grid.Extents[D];
+    Rest /= Grid.Extents[D];
+  }
+  return Coords;
+}
+
+int distsim::neighborRank(const ProcGrid &Grid,
+                          const std::vector<unsigned> &Coords, unsigned Dim,
+                          int Step) {
+  assert(Dim < Grid.Extents.size() && "grid dimension out of range");
+  int64_t NewCoord = static_cast<int64_t>(Coords[Dim]) + Step;
+  if (NewCoord < 0 || NewCoord >= static_cast<int64_t>(Grid.Extents[Dim]))
+    return -1;
+  unsigned Rank = 0;
+  for (size_t D = 0; D < Grid.Extents.size(); ++D) {
+    unsigned C = D == Dim ? static_cast<unsigned>(NewCoord) : Coords[D];
+    Rank = Rank * Grid.Extents[D] + C;
+  }
+  return static_cast<int>(Rank);
+}

@@ -1,0 +1,85 @@
+//===- exec/MemoryAccounting.cpp - Memory usage accounting ------------------===//
+
+#include "exec/MemoryAccounting.h"
+
+#include "analysis/Footprint.h"
+#include "analysis/Liveness.h"
+
+#include <limits>
+
+using namespace alf;
+using namespace alf::analysis;
+using namespace alf::exec;
+using namespace alf::ir;
+
+MemoryCensus
+exec::computeCensus(const Program &P,
+                    const std::set<const ArraySymbol *> &Contracted) {
+  MemoryCensus Census;
+  FootprintInfo FI = FootprintInfo::compute(P);
+  LivenessInfo LI = LivenessInfo::compute(P);
+
+  // Runtime allocation policy: compiler temporaries' buffers are retained
+  // once created (the ZPL runtime reuses but does not free them), so for
+  // peak-allocation purposes their interval extends to the end of the
+  // fragment. User arrays follow their live ranges.
+  std::vector<LiveInterval> Intervals = LI.intervals();
+  unsigned LastPos = P.numStmts() == 0 ? 0 : P.numStmts() - 1;
+  for (LiveInterval &I : Intervals)
+    if (I.Array->isCompilerTemp())
+      I.Last = LastPos;
+
+  auto Allocated = [&](const ArraySymbol *A) {
+    return !Contracted.count(A) && FI.boundsFor(A) != nullptr;
+  };
+
+  for (const ArraySymbol *A : P.arrays()) {
+    if (!Allocated(A))
+      continue;
+    ++Census.StaticArrays;
+    if (A->isCompilerTemp())
+      ++Census.StaticCompiler;
+    else
+      ++Census.StaticUser;
+  }
+
+  // Peak live count and bytes: walk program points, counting/summing the
+  // allocated arrays whose (policy-adjusted) interval covers each point.
+  for (unsigned Pos = 0; Pos <= LastPos; ++Pos) {
+    unsigned Count = 0;
+    uint64_t Bytes = 0;
+    for (const LiveInterval &I : Intervals)
+      if (I.First <= Pos && Pos <= I.Last && Allocated(I.Array)) {
+        ++Count;
+        Bytes += FI.bytesFor(I.Array);
+      }
+    if (Count > Census.PeakLive)
+      Census.PeakLive = Count;
+    if (Bytes > Census.PeakBytes)
+      Census.PeakBytes = Bytes;
+  }
+  return Census;
+}
+
+double exec::problemSizeChangePercent(unsigned Lb, unsigned La) {
+  if (La == 0)
+    return std::numeric_limits<double>::infinity();
+  return 100.0 * (static_cast<double>(Lb) - static_cast<double>(La)) /
+         static_cast<double>(La);
+}
+
+int64_t
+exec::findMaxProblemSize(const std::function<uint64_t(int64_t)> &BytesForN,
+                         uint64_t Budget, int64_t MaxN) {
+  if (BytesForN(1) > Budget)
+    return 0;
+  int64_t Lo = 1, Hi = MaxN;
+  while (Lo < Hi) {
+    int64_t Mid = Lo + (Hi - Lo + 1) / 2;
+    if (BytesForN(Mid) <= Budget)
+      Lo = Mid;
+    else
+      Hi = Mid - 1;
+  }
+  return Lo;
+}

@@ -1,0 +1,57 @@
+//===- exec/MemoryAccounting.h - Memory usage accounting -------*- C++ -*-===//
+//
+// Part of the ALF project: array-level fusion and contraction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The measurements behind the paper's Figures 7 and 8: static array
+/// counts (with the compiler/user split), peak simultaneously-live array
+/// counts (`lb`/`la`), the derived problem-size scaling factor
+/// C(lb, la) = 100 x (lb - la)/la, and the largest problem size that fits
+/// a fixed memory budget (found by search, mirroring the paper's
+/// experiment with OS-limited process sizes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALF_EXEC_MEMORYACCOUNTING_H
+#define ALF_EXEC_MEMORYACCOUNTING_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <functional>
+#include <set>
+
+namespace alf {
+namespace exec {
+
+/// Static and dynamic array census of one compiled program.
+struct MemoryCensus {
+  unsigned StaticArrays = 0;   ///< Arrays requiring storage.
+  unsigned StaticCompiler = 0; ///< ... of which compiler temporaries.
+  unsigned StaticUser = 0;     ///< ... of which user arrays.
+  unsigned PeakLive = 0;       ///< Paper's l: max simultaneously live.
+  uint64_t PeakBytes = 0;      ///< Bytes live at the peak point.
+};
+
+/// Computes the census of \p P, treating the arrays in \p Contracted as
+/// removed (pass an empty set for the "without contraction" column).
+MemoryCensus computeCensus(const ir::Program &P,
+                           const std::set<const ir::ArraySymbol *> &Contracted);
+
+/// The paper's percent change in maximum problem size,
+/// C(lb, la) = 100 x (lb - la) / la; returns +infinity when la == 0 (the
+/// contracted program's memory use is independent of problem size, as for
+/// EP).
+double problemSizeChangePercent(unsigned Lb, unsigned La);
+
+/// Largest N in [1, MaxN] with BytesForN(N) <= Budget (0 when even N=1
+/// does not fit). BytesForN must be monotonically nondecreasing.
+int64_t findMaxProblemSize(const std::function<uint64_t(int64_t)> &BytesForN,
+                           uint64_t Budget, int64_t MaxN);
+
+} // namespace exec
+} // namespace alf
+
+#endif // ALF_EXEC_MEMORYACCOUNTING_H

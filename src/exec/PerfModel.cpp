@@ -1,0 +1,265 @@
+//===- exec/PerfModel.cpp - Trace-driven performance model ------------------===//
+
+#include "exec/PerfModel.h"
+
+#include "analysis/Footprint.h"
+#include "exec/Storage.h"
+#include "support/ErrorHandling.h"
+
+#include <cmath>
+#include <functional>
+#include <map>
+
+using namespace alf;
+using namespace alf::analysis;
+using namespace alf::exec;
+using namespace alf::ir;
+using namespace alf::lir;
+using namespace alf::machine;
+
+namespace {
+
+/// A nest statement lowered to its address-generation recipe.
+struct CompiledRef {
+  const ArrayBuffer *Buf = nullptr;
+  Offset Off;
+  const xform::PartialPlan *Plan = nullptr; // rolling buffer, or null
+};
+
+struct CompiledStmt {
+  const ArrayBuffer *LHSBuf = nullptr; // null for scalar targets
+  Offset LHSOff;
+  const xform::PartialPlan *LHSPlan = nullptr;
+  std::vector<CompiledRef> Reads;
+  unsigned Flops = 0;
+};
+
+struct Simulator {
+  const MachineDesc &M;
+  const ProcGrid &Grid;
+  MemoryHierarchy Hierarchy;
+  PerfStats Stats;
+
+  struct PendingSend {
+    double StartComputeNs = 0.0;
+    double CostNs = 0.0;
+  };
+  std::map<int, PendingSend> Pending;
+
+  Simulator(const MachineDesc &Mach, const ProcGrid &G)
+      : M(Mach), Grid(G),
+        Hierarchy(Mach.L2 ? MemoryHierarchy(Mach.L1, *Mach.L2)
+                          : MemoryHierarchy(Mach.L1)) {}
+
+  void chargeRef(uint64_t Addr) {
+    ++Stats.Refs;
+    switch (Hierarchy.access(Addr)) {
+    case MemoryHierarchy::Level::L1:
+      ++Stats.L1Hits;
+      Stats.ComputeNs += M.L1HitCost;
+      break;
+    case MemoryHierarchy::Level::L2:
+      ++Stats.L2Hits;
+      Stats.ComputeNs += M.L2HitCost;
+      break;
+    case MemoryHierarchy::Level::Memory:
+      ++Stats.MemRefs;
+      Stats.ComputeNs += M.MemCost;
+      break;
+    }
+  }
+
+  void chargeFlops(unsigned N) {
+    Stats.Flops += N;
+    Stats.ComputeNs += static_cast<double>(N) * M.FlopCost;
+  }
+
+  /// Bytes of the halo slab of \p Buf along \p Dim with \p Width planes.
+  uint64_t slabBytes(const ArrayBuffer &Buf, unsigned Dim,
+                     unsigned Width) const {
+    const Region &B = Buf.bounds();
+    uint64_t Elems = static_cast<uint64_t>(B.size()) /
+                     static_cast<uint64_t>(B.extent(Dim));
+    return Elems * Width * Buf.symbol()->getElemSize();
+  }
+};
+
+} // namespace
+
+PerfStats exec::simulate(const LoopProgram &LP, const MachineDesc &M,
+                         const ProcGrid &Grid) {
+  const Program &P = LP.source();
+  FootprintInfo FI = FootprintInfo::compute(P);
+  // Allocation gives synthetic addresses; values are not used.
+  Storage Store = Storage::allocate(
+      P, FI, /*Seed=*/1,
+      [&LP](const ArraySymbol *A) { return !LP.isContracted(A); },
+      [&LP](const ArraySymbol *A) -> std::optional<Region> {
+        if (const xform::PartialPlan *Plan = LP.partialPlanFor(A))
+          return Plan->bufferRegion();
+        return std::nullopt;
+      });
+
+  Simulator Sim(M, Grid);
+
+  for (const auto &NodePtr : LP.nodes()) {
+    if (const auto *Nest = dyn_cast<LoopNest>(NodePtr.get())) {
+      // Compile body statements to address recipes.
+      std::vector<CompiledStmt> Body;
+      unsigned NumReduces = 0;
+      for (const ScalarStmt &S : Nest->Body) {
+        CompiledStmt CS;
+        if (!S.LHS.isScalar()) {
+          CS.LHSBuf = Store.buffer(S.LHS.Array);
+          CS.LHSOff = S.LHS.Off;
+          CS.LHSPlan = LP.partialPlanFor(S.LHS.Array);
+        }
+        for (const ArrayRefExpr *Ref : collectArrayRefs(S.RHS.get()))
+          CS.Reads.push_back(CompiledRef{Store.buffer(Ref->getSymbol()),
+                                         Ref->getOffset(),
+                                         LP.partialPlanFor(Ref->getSymbol())});
+        CS.Flops = countOps(S.RHS.get()) + (S.Accumulate ? 1 : 0);
+        if (S.Accumulate)
+          ++NumReduces;
+        Body.push_back(std::move(CS));
+      }
+
+      const Region &R = *Nest->R;
+      unsigned Rank = R.rank();
+      std::vector<int64_t> Idx(Rank);
+      std::vector<int64_t> At(Rank);
+      std::function<void(unsigned)> RunLoop = [&](unsigned Loop) {
+        if (Loop == Rank) {
+          for (const CompiledStmt &CS : Body) {
+            for (const CompiledRef &Ref : CS.Reads) {
+              if (!Ref.Buf)
+                alf_unreachable("performance model read without storage");
+              for (unsigned D = 0; D < Rank; ++D) {
+                At[D] = Idx[D] + Ref.Off[D];
+                if (Ref.Plan)
+                  At[D] = Ref.Plan->wrap(D, At[D]);
+              }
+              Sim.chargeRef(Ref.Buf->addrOf(At));
+            }
+            Sim.chargeFlops(CS.Flops);
+            if (CS.LHSBuf) {
+              for (unsigned D = 0; D < Rank; ++D) {
+                At[D] = Idx[D] + CS.LHSOff[D];
+                if (CS.LHSPlan)
+                  At[D] = CS.LHSPlan->wrap(D, At[D]);
+              }
+              Sim.chargeRef(CS.LHSBuf->addrOf(At));
+            }
+          }
+          return;
+        }
+        unsigned Dim = Nest->LSV.dimOf(Loop);
+        if (Nest->LSV.dirOf(Loop) > 0) {
+          for (int64_t I = R.lo(Dim); I <= R.hi(Dim); ++I) {
+            Idx[Dim] = I;
+            RunLoop(Loop + 1);
+          }
+        } else {
+          for (int64_t I = R.hi(Dim); I >= R.lo(Dim); --I) {
+            Idx[Dim] = I;
+            RunLoop(Loop + 1);
+          }
+        }
+      };
+      RunLoop(0);
+
+      // Each reduction pays a cross-processor combine after the nest.
+      if (NumReduces > 0 && Grid.NumProcs > 1) {
+        unsigned Steps = static_cast<unsigned>(
+            std::ceil(std::log2(static_cast<double>(Grid.NumProcs))));
+        Sim.Stats.CommNs += M.ReduceStepCost * Steps * NumReduces;
+        Sim.Stats.Messages += Steps * NumReduces;
+      }
+      continue;
+    }
+
+    if (const auto *C = dyn_cast<CommOp>(NodePtr.get())) {
+      unsigned Dim = 0;
+      unsigned Width = 0;
+      for (unsigned D = 0; D < C->Dir.rank(); ++D)
+        if (C->Dir[D] != 0) {
+          Dim = D;
+          Width = static_cast<unsigned>(C->Dir[D] > 0 ? C->Dir[D]
+                                                      : -C->Dir[D]);
+        }
+      if (!Grid.hasNeighbor(Dim))
+        continue; // no off-processor neighbour along this dimension
+      const ArrayBuffer *Buf = Store.buffer(C->Array);
+      if (!Buf)
+        continue; // contracted arrays never communicate
+      uint64_t Bytes = Sim.slabBytes(*Buf, Dim, Width);
+      // MsgLatency models the per-message *software* overhead (buffer
+      // management, protocol), which the processor pays whether or not
+      // the transfer overlaps with computation; only the wire transfer
+      // can hide behind a pipelined send/recv pair.
+      double Transfer = static_cast<double>(Bytes) / M.MsgBandwidth;
+
+      switch (C->Phase) {
+      case CommStmt::CommPhase::Whole:
+        ++Sim.Stats.Messages;
+        Sim.Stats.MsgBytes += Bytes;
+        Sim.Stats.CommNs += M.MsgLatency + Transfer;
+        break;
+      case CommStmt::CommPhase::Send:
+        ++Sim.Stats.Messages;
+        Sim.Stats.MsgBytes += Bytes;
+        Sim.Stats.CommNs += M.MsgLatency;
+        Sim.Pending[C->PairId] =
+            Simulator::PendingSend{Sim.Stats.ComputeNs, Transfer};
+        break;
+      case CommStmt::CommPhase::Recv: {
+        auto It = Sim.Pending.find(C->PairId);
+        if (It == Sim.Pending.end()) {
+          Sim.Stats.CommNs += M.MsgLatency + Transfer; // unmatched: no overlap
+          break;
+        }
+        double Elapsed = Sim.Stats.ComputeNs - It->second.StartComputeNs;
+        Sim.Stats.CommNs += std::max(0.0, It->second.CostNs - Elapsed);
+        Sim.Pending.erase(It);
+        break;
+      }
+      }
+      continue;
+    }
+
+    const auto *Op = cast<OpaqueOp>(NodePtr.get());
+    const OpaqueStmt &O = *Op->Src;
+    uint64_t Elems = O.getRegion()
+                         ? static_cast<uint64_t>(O.getRegion()->size())
+                         : 1;
+    Sim.chargeFlops(static_cast<unsigned>(
+        std::min<double>(static_cast<double>(Elems) * O.getFlopsPerElem(),
+                         4e9)));
+    // Stream the referenced arrays through the cache in row-major order.
+    auto StreamArray = [&](const ArraySymbol *A) {
+      const ArrayBuffer *Buf = Store.buffer(A);
+      if (!Buf)
+        return;
+      uint64_t Size = Buf->sizeBytes();
+      for (uint64_t Off = 0; Off < Size; Off += A->getElemSize())
+        Sim.chargeRef(Buf->baseAddr() + Off);
+    };
+    for (const ArraySymbol *A : O.arrayReads())
+      StreamArray(A);
+    for (const ArraySymbol *A : O.arrayWrites())
+      StreamArray(A);
+    if (O.isGlobalReduction() && Grid.NumProcs > 1) {
+      unsigned Steps = static_cast<unsigned>(
+          std::ceil(std::log2(static_cast<double>(Grid.NumProcs))));
+      Sim.Stats.CommNs += M.ReduceStepCost * Steps;
+      Sim.Stats.Messages += Steps;
+    }
+  }
+  return Sim.Stats;
+}
+
+double exec::percentImprovement(const PerfStats &Base, const PerfStats &Opt) {
+  if (Opt.totalNs() <= 0.0)
+    return 0.0;
+  return (Base.totalNs() / Opt.totalNs() - 1.0) * 100.0;
+}

@@ -1,0 +1,66 @@
+//===- exec/PerfModel.h - Trace-driven performance model -------*- C++ -*-===//
+//
+// Part of the ALF project: array-level fusion and contraction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Estimates one processor's execution time for a scalarized program on a
+/// modeled machine. Array references stream through the machine's cache
+/// hierarchy in the exact scalarized order, so fusion's temporal reuse
+/// and contraction's cache-pollution relief show up as L1/L2 hit-rate
+/// changes; arithmetic is charged per operation; communication operations
+/// are charged latency + bandwidth, with split send/recv pairs earning
+/// overlap credit from the computation between them. Regions in the
+/// program are the per-processor share (the paper scales problem size
+/// with the number of processors, section 5.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALF_EXEC_PERFMODEL_H
+#define ALF_EXEC_PERFMODEL_H
+
+#include "machine/Machine.h"
+#include "scalarize/LoopIR.h"
+
+#include <ostream>
+
+namespace alf {
+namespace exec {
+
+/// Simulated execution statistics (times in nanoseconds).
+struct PerfStats {
+  uint64_t Flops = 0;
+  uint64_t Refs = 0;     ///< Array element references issued.
+  uint64_t L1Hits = 0;
+  uint64_t L2Hits = 0;
+  uint64_t MemRefs = 0;  ///< References served by memory.
+  unsigned Messages = 0;
+  uint64_t MsgBytes = 0;
+  double ComputeNs = 0.0;
+  double CommNs = 0.0;
+
+  double totalNs() const { return ComputeNs + CommNs; }
+
+  /// Miss ratio of the first-level cache.
+  double l1MissRatio() const {
+    return Refs == 0 ? 0.0
+                     : 1.0 - static_cast<double>(L1Hits) /
+                                 static_cast<double>(Refs);
+  }
+};
+
+/// Simulates \p LP on \p M with processor grid \p Grid. Communication
+/// operations along undistributed grid dimensions (extent 1) cost
+/// nothing; global reductions cost log2(p) combine steps.
+PerfStats simulate(const lir::LoopProgram &LP, const machine::MachineDesc &M,
+                   const machine::ProcGrid &Grid);
+
+/// Percentage improvement of \p Opt over \p Base (positive = faster),
+/// the quantity plotted in Figures 9-11.
+double percentImprovement(const PerfStats &Base, const PerfStats &Opt);
+
+} // namespace exec
+} // namespace alf
+
+#endif // ALF_EXEC_PERFMODEL_H

@@ -1,0 +1,215 @@
+//===- frontend/Lexer.cpp - Mini-ZPL lexer ----------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace alf;
+using namespace alf::frontend;
+
+const char *frontend::getTokenKindName(TokenKind K) {
+  switch (K) {
+  case TokenKind::Ident:
+    return "identifier";
+  case TokenKind::Number:
+    return "number";
+  case TokenKind::KwRegion:
+    return "'region'";
+  case TokenKind::KwArray:
+    return "'array'";
+  case TokenKind::KwScalar:
+    return "'scalar'";
+  case TokenKind::KwDirection:
+    return "'direction'";
+  case TokenKind::KwTemp:
+    return "'temp'";
+  case TokenKind::KwPersistent:
+    return "'persistent'";
+  case TokenKind::KwIn:
+    return "'in'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Assign:
+    return "':='";
+  case TokenKind::At:
+    return "'@'";
+  case TokenKind::DotDot:
+    return "'..'";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Reduce:
+    return "'<<'";
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Error:
+    return "invalid token";
+  }
+  return "?";
+}
+
+std::vector<Token> frontend::tokenize(const std::string &Source) {
+  std::vector<Token> Tokens;
+  unsigned Line = 1, Col = 1;
+  size_t I = 0;
+
+  auto Push = [&](TokenKind K, std::string Text, unsigned TokLine,
+                  unsigned TokCol, double Num = 0.0) {
+    Tokens.push_back(Token{K, std::move(Text), Num, TokLine, TokCol});
+  };
+
+  while (I < Source.size()) {
+    char C = Source[I];
+    unsigned TokLine = Line, TokCol = Col;
+
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+      ++I;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++Col;
+      ++I;
+      continue;
+    }
+    // Comments: -- to end of line.
+    if (C == '-' && I + 1 < Source.size() && Source[I + 1] == '-') {
+      while (I < Source.size() && Source[I] != '\n')
+        ++I;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = I;
+      while (I < Source.size() &&
+             (std::isalnum(static_cast<unsigned char>(Source[I])) ||
+              Source[I] == '_'))
+        ++I;
+      std::string Word = Source.substr(Start, I - Start);
+      Col += static_cast<unsigned>(I - Start);
+      TokenKind K = TokenKind::Ident;
+      if (Word == "region")
+        K = TokenKind::KwRegion;
+      else if (Word == "array")
+        K = TokenKind::KwArray;
+      else if (Word == "scalar")
+        K = TokenKind::KwScalar;
+      else if (Word == "direction")
+        K = TokenKind::KwDirection;
+      else if (Word == "temp")
+        K = TokenKind::KwTemp;
+      else if (Word == "persistent")
+        K = TokenKind::KwPersistent;
+      else if (Word == "in")
+        K = TokenKind::KwIn;
+      Push(K, std::move(Word), TokLine, TokCol);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t Start = I;
+      while (I < Source.size() &&
+             std::isdigit(static_cast<unsigned char>(Source[I])))
+        ++I;
+      // A fraction part, but not the '..' of a range.
+      if (I + 1 < Source.size() && Source[I] == '.' &&
+          Source[I + 1] != '.') {
+        ++I;
+        while (I < Source.size() &&
+               std::isdigit(static_cast<unsigned char>(Source[I])))
+          ++I;
+      }
+      std::string Text = Source.substr(Start, I - Start);
+      Col += static_cast<unsigned>(I - Start);
+      Push(TokenKind::Number, Text, TokLine, TokCol,
+           std::strtod(Text.c_str(), nullptr));
+      continue;
+    }
+
+    auto Two = [&](char A, char B) {
+      return C == A && I + 1 < Source.size() && Source[I + 1] == B;
+    };
+    if (Two(':', '=')) {
+      Push(TokenKind::Assign, ":=", TokLine, TokCol);
+      I += 2;
+      Col += 2;
+      continue;
+    }
+    if (Two('.', '.')) {
+      Push(TokenKind::DotDot, "..", TokLine, TokCol);
+      I += 2;
+      Col += 2;
+      continue;
+    }
+    if (Two('<', '<')) {
+      Push(TokenKind::Reduce, "<<", TokLine, TokCol);
+      I += 2;
+      Col += 2;
+      continue;
+    }
+
+    TokenKind K = TokenKind::Error;
+    switch (C) {
+    case '[':
+      K = TokenKind::LBracket;
+      break;
+    case ']':
+      K = TokenKind::RBracket;
+      break;
+    case '(':
+      K = TokenKind::LParen;
+      break;
+    case ')':
+      K = TokenKind::RParen;
+      break;
+    case ',':
+      K = TokenKind::Comma;
+      break;
+    case ';':
+      K = TokenKind::Semi;
+      break;
+    case ':':
+      K = TokenKind::Colon;
+      break;
+    case '@':
+      K = TokenKind::At;
+      break;
+    case '+':
+      K = TokenKind::Plus;
+      break;
+    case '-':
+      K = TokenKind::Minus;
+      break;
+    case '*':
+      K = TokenKind::Star;
+      break;
+    case '/':
+      K = TokenKind::Slash;
+      break;
+    default:
+      break;
+    }
+    Push(K, std::string(1, C), TokLine, TokCol);
+    ++I;
+    ++Col;
+  }
+  Tokens.push_back(Token{TokenKind::Eof, "", 0.0, Line, Col});
+  return Tokens;
+}

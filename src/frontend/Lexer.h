@@ -1,0 +1,73 @@
+//===- frontend/Lexer.h - Mini-ZPL lexer -----------------------*- C++ -*-===//
+//
+// Part of the ALF project: array-level fusion and contraction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lexer for the small ZPL-like input language (see frontend/Parser.h for
+/// the grammar). Produces a token stream with line/column positions for
+/// diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALF_FRONTEND_LEXER_H
+#define ALF_FRONTEND_LEXER_H
+
+#include <string>
+#include <vector>
+
+namespace alf {
+namespace frontend {
+
+/// Token kinds of the mini-ZPL language.
+enum class TokenKind {
+  Ident,
+  Number,
+  KwRegion,
+  KwArray,
+  KwScalar,
+  KwDirection,
+  KwTemp,
+  KwPersistent,
+  KwIn, // array trait: live-in only
+  LBracket,
+  RBracket,
+  LParen,
+  RParen,
+  Comma,
+  Semi,
+  Colon,
+  Assign,   // :=
+  At,       // @
+  DotDot,   // ..
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Reduce,   // <<
+  Eof,
+  Error
+};
+
+/// Printable token-kind name for diagnostics.
+const char *getTokenKindName(TokenKind K);
+
+/// One token with its source position.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string Text;
+  double NumValue = 0.0;
+  unsigned Line = 1;
+  unsigned Col = 1;
+};
+
+/// Tokenizes \p Source. Lexical errors become Error tokens carrying the
+/// offending text; the stream always ends with Eof. Comments run from
+/// `--` to end of line.
+std::vector<Token> tokenize(const std::string &Source);
+
+} // namespace frontend
+} // namespace alf
+
+#endif // ALF_FRONTEND_LEXER_H

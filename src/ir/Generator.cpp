@@ -1,0 +1,92 @@
+//===- ir/Generator.cpp - Random array-program generator --------------------===//
+
+#include "ir/Generator.h"
+
+#include "support/Random.h"
+#include "support/StringUtil.h"
+
+using namespace alf;
+using namespace alf::ir;
+
+std::unique_ptr<Program> ir::generateRandomProgram(const GeneratorConfig &Cfg) {
+  SplitMix64 Rng(Cfg.Seed);
+  auto P = std::make_unique<Program>(
+      formatString("random-%llu", static_cast<unsigned long long>(Cfg.Seed)));
+
+  std::vector<int64_t> Extents(Cfg.Rank, Cfg.Extent);
+  const Region *R1 = P->regionFromExtents(Extents);
+  const Region *R2 = R1;
+  if (Cfg.UseTwoRegions) {
+    std::vector<int64_t> Alt(Cfg.Rank, Cfg.Extent > 2 ? Cfg.Extent - 2 : 1);
+    R2 = P->regionFromExtents(Alt);
+  }
+
+  std::vector<ArraySymbol *> Persistent;
+  for (unsigned I = 0; I < Cfg.NumPersistent; ++I)
+    Persistent.push_back(
+        P->makeArray(formatString("P%u", I), Cfg.Rank));
+  std::vector<ArraySymbol *> Temps;
+  for (unsigned I = 0; I < Cfg.NumTemps; ++I)
+    Temps.push_back(P->makeUserTemp(formatString("T%u", I), Cfg.Rank));
+
+  auto AnyArray = [&](SplitMix64 &G) -> ArraySymbol * {
+    uint64_t Pick = G.nextBounded(Persistent.size() + Temps.size());
+    if (Pick < Persistent.size())
+      return Persistent[Pick];
+    return Temps[Pick - Persistent.size()];
+  };
+
+  auto RandomOffset = [&](SplitMix64 &G) {
+    Offset O = Offset::zero(Cfg.Rank);
+    for (unsigned D = 0; D < Cfg.Rank; ++D) {
+      int Span = 2 * static_cast<int>(Cfg.MaxOffset) + 1;
+      O[D] = static_cast<int32_t>(G.nextBounded(Span)) -
+             static_cast<int32_t>(Cfg.MaxOffset);
+    }
+    return O;
+  };
+
+  for (unsigned S = 0; S < Cfg.NumStmts; ++S) {
+    ArraySymbol *LHS = AnyArray(Rng);
+    const Region *R = (Cfg.UseTwoRegions && Rng.nextBounded(4) == 0) ? R2 : R1;
+
+    // RHS: 1-3 terms combined with +, -, *.
+    unsigned NumTerms = 1 + static_cast<unsigned>(Rng.nextBounded(3));
+    ExprPtr E;
+    for (unsigned T = 0; T < NumTerms; ++T) {
+      ArraySymbol *Ref = AnyArray(Rng);
+      if (!Cfg.AllowSelfRef)
+        while (Ref == LHS)
+          Ref = AnyArray(Rng);
+      ExprPtr Term = aref(Ref, RandomOffset(Rng));
+      if (!E) {
+        E = std::move(Term);
+        continue;
+      }
+      switch (Rng.nextBounded(3)) {
+      case 0:
+        E = add(std::move(E), std::move(Term));
+        break;
+      case 1:
+        E = sub(std::move(E), std::move(Term));
+        break;
+      default:
+        E = mul(std::move(E), mul(std::move(Term), cst(0.5)));
+        break;
+      }
+    }
+    // Ground the magnitude so long chains stay finite.
+    E = add(mul(std::move(E), cst(0.25)), cst(0.125));
+    if (Cfg.AllowTargetOffsets && Rng.nextBounded(4) == 0)
+      P->assign(R, LHS, RandomOffset(Rng), std::move(E));
+    else
+      P->assign(R, LHS, std::move(E));
+  }
+
+  if (Cfg.AddOpaque && !Persistent.empty()) {
+    P->opaque("checksum", R1, {Persistent.front()},
+              {Persistent.back()}, {}, {}, 2.0,
+              /*GlobalReduction=*/true);
+  }
+  return P;
+}

@@ -1,0 +1,46 @@
+//===- ir/Generator.h - Random array-program generator ---------*- C++ -*-===//
+//
+// Part of the ALF project: array-level fusion and contraction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic random generator of well-formed (pre-normalization)
+/// array programs. Used by the property tests — every optimization
+/// strategy must preserve the semantics of every generated program — and
+/// by the algorithm-scaling benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALF_IR_GENERATOR_H
+#define ALF_IR_GENERATOR_H
+
+#include "ir/Program.h"
+
+#include <memory>
+
+namespace alf {
+namespace ir {
+
+/// Shape of the generated program.
+struct GeneratorConfig {
+  uint64_t Seed = 1;
+  unsigned NumStmts = 8;
+  unsigned NumPersistent = 3; ///< live-in/live-out arrays
+  unsigned NumTemps = 3;      ///< user temporaries (contraction candidates)
+  unsigned Rank = 2;
+  int64_t Extent = 8;         ///< region extent per dimension
+  unsigned MaxOffset = 1;     ///< reference offsets drawn from [-Max, Max]
+  bool AllowSelfRef = true;   ///< emit statements needing normalization
+  bool AllowTargetOffsets = false; ///< emit `A@d := ...` targets
+  bool UseTwoRegions = false; ///< mix two region sizes (blocks some fusion)
+  bool AddOpaque = false;     ///< append an opaque consumer statement
+};
+
+/// Generates a program; deterministic in \p Cfg.Seed.
+std::unique_ptr<Program> generateRandomProgram(const GeneratorConfig &Cfg);
+
+} // namespace ir
+} // namespace alf
+
+#endif // ALF_IR_GENERATOR_H

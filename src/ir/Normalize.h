@@ -1,0 +1,41 @@
+//===- ir/Normalize.h - Statement normalization ----------------*- C++ -*-===//
+//
+// Part of the ALF project: array-level fusion and contraction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Normalization establishes the paper's normal-form condition (i): "the
+/// same array may not be both read and written" by one statement. A
+/// statement that violates it is split through a fresh *compiler temporary*:
+///
+///   [R] A@d0 := f(..., A@d1, ...)
+///     =>
+///   [R] _Tk := f(..., A@d1, ...)
+///   [R] A@d0 := _Tk
+///
+/// These are exactly the compiler-inserted arrays the paper's c1 strategy
+/// later contracts ("compiler temporaries that are often later contracted",
+/// section 2.1). Our normalizer, like the paper's, always inserts the
+/// temporary and leaves its elimination to contraction: "The technique we
+/// describe always inserts compiler arrays, and it treats compiler and user
+/// arrays together as candidates for contraction" (section 5.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALF_IR_NORMALIZE_H
+#define ALF_IR_NORMALIZE_H
+
+namespace alf {
+namespace ir {
+
+class Program;
+
+/// Splits every normalized statement that reads and writes the same array,
+/// in place. Returns the number of compiler temporaries inserted.
+unsigned normalizeProgram(Program &P);
+
+} // namespace ir
+} // namespace alf
+
+#endif // ALF_IR_NORMALIZE_H

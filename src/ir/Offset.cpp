@@ -1,0 +1,18 @@
+//===- ir/Offset.cpp - Constant offset vectors ----------------------------===//
+
+#include "ir/Offset.h"
+
+#include "support/StringUtil.h"
+
+using namespace alf;
+using namespace alf::ir;
+
+std::string Offset::str() const {
+  if (isZero())
+    return "@0";
+  std::vector<std::string> Parts;
+  Parts.reserve(Elems.size());
+  for (int32_t E : Elems)
+    Parts.push_back(formatString("%d", E));
+  return "@(" + join(Parts, ",") + ")";
+}

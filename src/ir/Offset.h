@@ -1,0 +1,92 @@
+//===- ir/Offset.h - Constant offset vectors -------------------*- C++ -*-===//
+//
+// Part of the ALF project: array-level fusion and contraction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `Offset` is the integer r-tuple `@(d1, ..., dr)` attached to an array
+/// reference in a normalized array statement (paper section 2.1). The same
+/// representation serves as the paper's *unconstrained distance vector*
+/// (Definition 2), which is the element-wise difference of two offsets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALF_IR_OFFSET_H
+#define ALF_IR_OFFSET_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace alf {
+namespace ir {
+
+/// An integer r-tuple. Used both as the constant offset of an array
+/// reference from its statement's region and as an unconstrained distance
+/// vector between two normalized statements.
+class Offset {
+  std::vector<int32_t> Elems;
+
+public:
+  Offset() = default;
+  explicit Offset(std::vector<int32_t> Elems) : Elems(std::move(Elems)) {}
+  Offset(std::initializer_list<int32_t> Init) : Elems(Init) {}
+
+  /// The null (all-zero) offset of the given rank.
+  static Offset zero(unsigned Rank) {
+    return Offset(std::vector<int32_t>(Rank, 0));
+  }
+
+  unsigned rank() const { return static_cast<unsigned>(Elems.size()); }
+
+  int32_t operator[](unsigned D) const {
+    assert(D < Elems.size() && "offset dimension out of range");
+    return Elems[D];
+  }
+
+  int32_t &operator[](unsigned D) {
+    assert(D < Elems.size() && "offset dimension out of range");
+    return Elems[D];
+  }
+
+  /// True if every element is zero (the paper's "null vector").
+  bool isZero() const {
+    for (int32_t E : Elems)
+      if (E != 0)
+        return false;
+    return true;
+  }
+
+  /// Element-wise difference; both operands must have the same rank. An
+  /// unconstrained distance vector is `source offset - target offset`.
+  Offset operator-(const Offset &RHS) const {
+    assert(rank() == RHS.rank() && "rank mismatch in offset subtraction");
+    Offset Result = *this;
+    for (unsigned D = 0; D < rank(); ++D)
+      Result.Elems[D] -= RHS.Elems[D];
+    return Result;
+  }
+
+  /// Element-wise sum; both operands must have the same rank.
+  Offset operator+(const Offset &RHS) const {
+    assert(rank() == RHS.rank() && "rank mismatch in offset addition");
+    Offset Result = *this;
+    for (unsigned D = 0; D < rank(); ++D)
+      Result.Elems[D] += RHS.Elems[D];
+    return Result;
+  }
+
+  bool operator==(const Offset &RHS) const { return Elems == RHS.Elems; }
+  bool operator!=(const Offset &RHS) const { return Elems != RHS.Elems; }
+  bool operator<(const Offset &RHS) const { return Elems < RHS.Elems; }
+
+  /// Renders as "@(d1,...,dr)"; the null offset renders as "@0".
+  std::string str() const;
+};
+
+} // namespace ir
+} // namespace alf
+
+#endif // ALF_IR_OFFSET_H

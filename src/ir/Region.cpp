@@ -1,0 +1,17 @@
+//===- ir/Region.cpp - Rectangular index sets -----------------------------===//
+
+#include "ir/Region.h"
+
+#include "support/StringUtil.h"
+
+using namespace alf;
+using namespace alf::ir;
+
+std::string Region::str() const {
+  std::vector<std::string> Parts;
+  Parts.reserve(rank());
+  for (unsigned D = 0; D < rank(); ++D)
+    Parts.push_back(formatString("%lld..%lld", static_cast<long long>(lo(D)),
+                                 static_cast<long long>(hi(D))));
+  return "[" + join(Parts, ",") + "]";
+}

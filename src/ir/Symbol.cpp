@@ -1,0 +1,9 @@
+//===- ir/Symbol.cpp - Array and scalar symbols ---------------------------===//
+
+#include "ir/Symbol.h"
+
+using namespace alf;
+using namespace alf::ir;
+
+// Virtual method anchor.
+Symbol::~Symbol() = default;

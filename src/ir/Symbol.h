@@ -1,0 +1,109 @@
+//===- ir/Symbol.h - Array and scalar symbols ------------------*- C++ -*-===//
+//
+// Part of the ALF project: array-level fusion and contraction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbols name the variables of an array program. `ArraySymbol` carries the
+/// properties the fusion-for-contraction problem cares about: rank, element
+/// size, whether it is a *compiler temporary* (inserted during
+/// normalization) or a *user array*, and whether it is live beyond the
+/// fragment (live-out arrays can never be contracted; the paper's probe
+/// fragments state "arrays B, T1 and T2 are not live beyond the given code
+/// fragments").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALF_IR_SYMBOL_H
+#define ALF_IR_SYMBOL_H
+
+#include <cassert>
+#include <string>
+
+namespace alf {
+namespace ir {
+
+/// Base class for named program variables.
+class Symbol {
+public:
+  enum class SymbolKind { Array, Scalar };
+
+private:
+  SymbolKind Kind;
+  std::string Name;
+  unsigned Id;
+
+protected:
+  Symbol(SymbolKind Kind, std::string Name, unsigned Id)
+      : Kind(Kind), Name(std::move(Name)), Id(Id) {}
+
+public:
+  virtual ~Symbol();
+
+  SymbolKind getKind() const { return Kind; }
+  const std::string &getName() const { return Name; }
+
+  /// Dense id assigned by the owning Program; usable as a vector index.
+  unsigned getId() const { return Id; }
+};
+
+/// A rank-n array variable.
+class ArraySymbol : public Symbol {
+  unsigned Rank;
+  unsigned ElemSize;
+  bool CompilerTemp;
+  bool LiveOut;
+  bool LiveIn;
+
+public:
+  ArraySymbol(std::string Name, unsigned Id, unsigned Rank, unsigned ElemSize,
+              bool CompilerTemp, bool LiveOut, bool LiveIn)
+      : Symbol(SymbolKind::Array, std::move(Name), Id), Rank(Rank),
+        ElemSize(ElemSize), CompilerTemp(CompilerTemp), LiveOut(LiveOut),
+        LiveIn(LiveIn) {
+    assert(Rank >= 1 && "arrays have rank >= 1");
+    assert(!(CompilerTemp && (LiveOut || LiveIn)) &&
+           "compiler temporaries are local to the fragment");
+  }
+
+  unsigned getRank() const { return Rank; }
+
+  /// Size of one element in bytes (8 for double-precision data).
+  unsigned getElemSize() const { return ElemSize; }
+
+  /// True if this array was inserted by the compiler during normalization.
+  /// The paper's c1 strategy contracts only these; c2 also contracts user
+  /// arrays.
+  bool isCompilerTemp() const { return CompilerTemp; }
+
+  /// True if the array's value is observable after the fragment. Live-out
+  /// arrays are never contraction candidates.
+  bool isLiveOut() const { return LiveOut; }
+
+  /// True if the array carries a value into the fragment (it may be read
+  /// before any write in the fragment). Live-in arrays whose upward-exposed
+  /// reads survive cannot be contracted either.
+  bool isLiveIn() const { return LiveIn; }
+
+  static bool classof(const Symbol *S) {
+    return S->getKind() == SymbolKind::Array;
+  }
+};
+
+/// A scalar variable. Scalars appear in source programs (coefficients,
+/// reduction results) and are created by contraction.
+class ScalarSymbol : public Symbol {
+public:
+  ScalarSymbol(std::string Name, unsigned Id)
+      : Symbol(SymbolKind::Scalar, std::move(Name), Id) {}
+
+  static bool classof(const Symbol *S) {
+    return S->getKind() == SymbolKind::Scalar;
+  }
+};
+
+} // namespace ir
+} // namespace alf
+
+#endif // ALF_IR_SYMBOL_H

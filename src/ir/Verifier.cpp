@@ -1,0 +1,81 @@
+//===- ir/Verifier.cpp - Normal-form and program invariants ----------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/Program.h"
+#include "support/StringUtil.h"
+
+using namespace alf;
+using namespace alf::ir;
+
+std::vector<std::string> ir::verifyProgram(const Program &P) {
+  std::vector<std::string> Errors;
+  auto Report = [&Errors](std::string Msg) { Errors.push_back(std::move(Msg)); };
+
+  unsigned ExpectedId = 0;
+  for (const Stmt *S : P.stmts()) {
+    if (S->getId() != ExpectedId)
+      Report(formatString("statement at position %u has id %u", ExpectedId,
+                          S->getId()));
+    ++ExpectedId;
+
+    if (const auto *RS = dyn_cast<ReduceStmt>(S)) {
+      const Region *R = RS->getRegion();
+      unsigned Rank = R->rank();
+      for (const ArrayRefExpr *Ref : RS->bodyArrayRefs()) {
+        if (Ref->getSymbol()->getRank() != Rank)
+          Report(formatString(
+              "S%u: reduction reads %s of rank %u under a rank-%u region",
+              S->getId(), Ref->getSymbol()->getName().c_str(),
+              Ref->getSymbol()->getRank(), Rank));
+        if (Ref->getOffset().rank() != Ref->getSymbol()->getRank())
+          Report(formatString("S%u: offset rank mismatch on reference to %s",
+                              S->getId(),
+                              Ref->getSymbol()->getName().c_str()));
+      }
+      continue;
+    }
+
+    const auto *NS = dyn_cast<NormalizedStmt>(S);
+    if (!NS)
+      continue;
+
+    const Region *R = NS->getRegion();
+    if (!R) {
+      Report(formatString("S%u: normalized statement without a region",
+                          S->getId()));
+      continue;
+    }
+    unsigned Rank = R->rank();
+
+    // Condition (ii): common rank across the statement.
+    if (NS->getLHS()->getRank() != Rank)
+      Report(formatString("S%u: LHS %s has rank %u but region has rank %u",
+                          S->getId(), NS->getLHS()->getName().c_str(),
+                          NS->getLHS()->getRank(), Rank));
+    if (NS->getLHSOffset().rank() != Rank)
+      Report(formatString("S%u: LHS offset rank mismatch", S->getId()));
+
+    for (const ArrayRefExpr *Ref : NS->rhsArrayRefs()) {
+      if (Ref->getSymbol()->getRank() != Rank)
+        Report(formatString(
+            "S%u: reference to %s has rank %u but region has rank %u",
+            S->getId(), Ref->getSymbol()->getName().c_str(),
+            Ref->getSymbol()->getRank(), Rank));
+      // Condition (iii): constant-offset references; structurally true, but
+      // the offset must agree with the array's rank.
+      if (Ref->getOffset().rank() != Ref->getSymbol()->getRank())
+        Report(formatString("S%u: offset rank mismatch on reference to %s",
+                            S->getId(), Ref->getSymbol()->getName().c_str()));
+      // Condition (i): no array is both read and written.
+      if (Ref->getSymbol() == NS->getLHS())
+        Report(formatString(
+            "S%u: array %s is both read and written (normal-form "
+            "condition (i)); run normalizeProgram first",
+            S->getId(), NS->getLHS()->getName().c_str()));
+    }
+  }
+  return Errors;
+}
+
+bool ir::isWellFormed(const Program &P) { return verifyProgram(P).empty(); }

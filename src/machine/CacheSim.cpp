@@ -1,0 +1,69 @@
+//===- machine/CacheSim.cpp - Set-associative cache simulator --------------===//
+
+#include "machine/CacheSim.h"
+
+#include <cassert>
+#include <cstddef>
+
+using namespace alf;
+using namespace alf::machine;
+
+CacheSim::CacheSim(const CacheConfig &Cfg) : Cfg(Cfg) {
+  assert(Cfg.SizeBytes % (Cfg.LineBytes * Cfg.Assoc) == 0 &&
+         "cache size must be a multiple of line size times associativity");
+  Ways.resize(static_cast<size_t>(Cfg.numSets()) * Cfg.Assoc);
+}
+
+bool CacheSim::access(uint64_t Addr) {
+  ++NumAccesses;
+  ++Clock;
+  uint64_t Line = Addr / Cfg.LineBytes;
+  unsigned Set = static_cast<unsigned>(Line % Cfg.numSets());
+  // Tags are offset by one so that 0 means "invalid".
+  uint64_t Tag = Line / Cfg.numSets() + 1;
+
+  Way *Base = &Ways[static_cast<size_t>(Set) * Cfg.Assoc];
+  Way *Victim = Base;
+  for (unsigned W = 0; W < Cfg.Assoc; ++W) {
+    if (Base[W].Tag == Tag) {
+      Base[W].LastUse = Clock;
+      return true;
+    }
+    if (Base[W].LastUse < Victim->LastUse)
+      Victim = &Base[W];
+  }
+  ++NumMisses;
+  Victim->Tag = Tag;
+  Victim->LastUse = Clock;
+  return false;
+}
+
+void CacheSim::reset() {
+  for (Way &W : Ways)
+    W = Way();
+  Clock = 0;
+  NumAccesses = 0;
+  NumMisses = 0;
+}
+
+MemoryHierarchy::MemoryHierarchy(const CacheConfig &L1Cfg) : L1(L1Cfg) {}
+
+MemoryHierarchy::MemoryHierarchy(const CacheConfig &L1Cfg,
+                                 const CacheConfig &L2Cfg)
+    : L1(L1Cfg) {
+  L2Opt.emplace_back(L2Cfg);
+}
+
+MemoryHierarchy::Level MemoryHierarchy::access(uint64_t Addr) {
+  if (L1.access(Addr))
+    return Level::L1;
+  if (L2Opt.empty())
+    return Level::Memory;
+  return L2Opt.front().access(Addr) ? Level::L2 : Level::Memory;
+}
+
+void MemoryHierarchy::reset() {
+  L1.reset();
+  for (CacheSim &C : L2Opt)
+    C.reset();
+}

@@ -1,0 +1,83 @@
+//===- machine/Machine.cpp - Machine descriptions ---------------------------===//
+
+#include "machine/Machine.h"
+
+#include <cmath>
+
+using namespace alf;
+using namespace alf::machine;
+
+MachineDesc machine::crayT3E() {
+  MachineDesc M;
+  M.Name = "Cray T3E";
+  M.L1 = CacheConfig{8 * 1024, 32, 1};          // 8 KB direct mapped
+  M.L2 = CacheConfig{96 * 1024, 64, 3};         // 96 KB 3-way
+  M.FlopCost = 2.2;                             // 450 MHz
+  M.L1HitCost = 2.2;
+  M.L2HitCost = 18.0;
+  M.MemCost = 130.0;
+  M.MsgLatency = 15000.0;                       // low-latency E-registers
+  M.MsgBandwidth = 0.30;                        // ~300 MB/s
+  M.ReduceStepCost = 10000.0;
+  return M;
+}
+
+MachineDesc machine::ibmSP2() {
+  MachineDesc M;
+  M.Name = "IBM SP-2";
+  M.L1 = CacheConfig{128 * 1024, 128, 4};       // 128 KB data cache
+  M.L2 = std::nullopt;
+  M.FlopCost = 4.2;                             // 120 MHz P2SC
+  M.L1HitCost = 4.2;
+  M.L2HitCost = 0.0;                            // unused
+  M.MemCost = 350.0;
+  M.MsgLatency = 45000.0;                       // MPI on the SP switch
+  M.MsgBandwidth = 0.035;                       // ~35 MB/s
+  M.ReduceStepCost = 45000.0;
+  return M;
+}
+
+MachineDesc machine::intelParagon() {
+  MachineDesc M;
+  M.Name = "Intel Paragon";
+  M.L1 = CacheConfig{8 * 1024, 32, 2};          // 8 KB (i860 XP data cache)
+  M.L2 = std::nullopt;
+  M.FlopCost = 13.3;                            // 75 MHz
+  M.L1HitCost = 13.3;
+  M.L2HitCost = 0.0;
+  M.MemCost = 400.0;
+  M.MsgLatency = 70000.0;                       // NX message startup
+  M.MsgBandwidth = 0.070;
+  M.ReduceStepCost = 70000.0;
+  return M;
+}
+
+std::vector<MachineDesc> machine::allMachines() {
+  return {crayT3E(), ibmSP2(), intelParagon()};
+}
+
+ProcGrid ProcGrid::make(unsigned P, unsigned Rank) {
+  ProcGrid G;
+  G.NumProcs = P;
+  G.Extents.assign(Rank, 1);
+  if (Rank == 0)
+    return G;
+  // Factor P into Rank near-equal extents, largest factors first.
+  unsigned Remaining = P;
+  for (unsigned D = 0; D < Rank; ++D) {
+    unsigned DimsLeft = Rank - D;
+    unsigned Target = static_cast<unsigned>(std::ceil(
+        std::pow(static_cast<double>(Remaining), 1.0 / DimsLeft)));
+    // Find the largest divisor of Remaining that is <= Target (fall back
+    // to Remaining itself for the last dimension).
+    unsigned Chosen = 1;
+    for (unsigned F = 1; F <= Remaining; ++F)
+      if (Remaining % F == 0 && F <= Target)
+        Chosen = F;
+    if (D + 1 == Rank)
+      Chosen = Remaining;
+    G.Extents[D] = Chosen;
+    Remaining /= Chosen;
+  }
+  return G;
+}

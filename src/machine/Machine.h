@@ -1,0 +1,87 @@
+//===- machine/Machine.h - Machine descriptions ----------------*- C++ -*-===//
+//
+// Part of the ALF project: array-level fusion and contraction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cost-model descriptions of the paper's three evaluation machines
+/// (section 5): the Cray T3E (450 MHz Alpha 21164, 8 KB L1 + 96 KB L2),
+/// the IBM SP-2 (120 MHz POWER2 SC, 128 KB data cache) and the Intel
+/// Paragon (75 MHz i860, 8 KB data cache). Timings are nanosecond-scale
+/// estimates chosen to reproduce the *relative* behaviour of the paper's
+/// experiments, not the machines' absolute speed (we do not have the
+/// hardware; see DESIGN.md's substitution table).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALF_MACHINE_MACHINE_H
+#define ALF_MACHINE_MACHINE_H
+
+#include "machine/CacheSim.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace alf {
+namespace machine {
+
+/// Cost parameters of one machine. Times in nanoseconds.
+struct MachineDesc {
+  std::string Name;
+
+  CacheConfig L1;
+  std::optional<CacheConfig> L2;
+
+  double FlopCost = 2.0;     ///< Per arithmetic operation.
+  double L1HitCost = 2.0;    ///< Per reference served by L1.
+  double L2HitCost = 20.0;   ///< Per reference served by L2.
+  double MemCost = 120.0;    ///< Per reference served by memory.
+
+  double MsgLatency = 20000.0;  ///< Per message (ns), software overhead.
+  double MsgBandwidth = 0.3;    ///< Bytes per ns (GB/s).
+  double ReduceStepCost = 30000.0; ///< Per log2(p) step of a global combine.
+
+  /// Time to transfer \p Bytes in one message.
+  double messageCost(uint64_t Bytes) const {
+    return MsgLatency + static_cast<double>(Bytes) / MsgBandwidth;
+  }
+};
+
+/// Cray T3E: DEC Alpha 21164 at 450 MHz, 8 KB direct-mapped L1 and 96 KB
+/// 3-way L2, low-latency remote memory access network.
+MachineDesc crayT3E();
+
+/// IBM SP-2: 120 MHz POWER2 SC with a large 128 KB 4-way data cache and a
+/// higher-latency switch network.
+MachineDesc ibmSP2();
+
+/// Intel Paragon: 75 MHz i860 XP with a tiny 8 KB data cache and a slow
+/// (relative to its network bandwidth) message layer.
+MachineDesc intelParagon();
+
+/// All three machines in the paper's presentation order (Figures 9-11).
+std::vector<MachineDesc> allMachines();
+
+/// A processor grid over which every array dimension is block
+/// distributed ("here we assume that all dimensions are distributed",
+/// section 2.2 discussion).
+struct ProcGrid {
+  unsigned NumProcs = 1;
+  std::vector<unsigned> Extents; ///< per-dimension grid extents
+
+  /// Builds a near-square grid of \p P processors for \p Rank dimensions.
+  static ProcGrid make(unsigned P, unsigned Rank);
+
+  /// Number of neighbours an interior processor exchanges with along
+  /// dimension \p Dim in one direction (0 when the grid is flat there).
+  bool hasNeighbor(unsigned Dim) const {
+    return Dim < Extents.size() && Extents[Dim] > 1;
+  }
+};
+
+} // namespace machine
+} // namespace alf
+
+#endif // ALF_MACHINE_MACHINE_H

@@ -1,0 +1,439 @@
+//===- scalarize/CEmitter.cpp - C code generation -----------------------------===//
+
+#include "scalarize/CEmitter.h"
+
+#include "analysis/Footprint.h"
+#include "support/ErrorHandling.h"
+#include "support/StringUtil.h"
+
+#include <cmath>
+#include <map>
+#include <sstream>
+
+using namespace alf;
+using namespace alf::analysis;
+using namespace alf::ir;
+using namespace alf::lir;
+using namespace alf::scalarize;
+
+namespace {
+
+/// Layout of one emitted array: footprint bounds and row-major strides.
+struct Layout {
+  Region Bounds;
+  std::vector<int64_t> Strides;
+
+  explicit Layout(const Region &B) : Bounds(B) {
+    Strides.assign(B.rank(), 1);
+    for (int D = static_cast<int>(B.rank()) - 2; D >= 0; --D)
+      Strides[D] = Strides[D + 1] * B.extent(D + 1);
+  }
+
+  int64_t size() const { return Bounds.size(); }
+};
+
+class Emitter {
+  const LoopProgram &LP;
+  const Program &P;
+  FootprintInfo FI;
+  std::map<unsigned, Layout> Layouts; // by array symbol id
+  std::ostringstream OS;
+
+public:
+  explicit Emitter(const LoopProgram &LP)
+      : LP(LP), P(LP.source()), FI(FootprintInfo::compute(P)) {
+    for (const ArraySymbol *A : P.arrays()) {
+      if (LP.isContracted(A))
+        continue;
+      if (const xform::PartialPlan *Plan = LP.partialPlanFor(A)) {
+        Layouts.emplace(A->getId(), Layout(Plan->bufferRegion()));
+        continue;
+      }
+      if (const Region *B = FI.boundsFor(A))
+        Layouts.emplace(A->getId(), Layout(*B));
+    }
+  }
+
+  /// Allocated arrays in symbol order.
+  std::vector<const ArraySymbol *> allocatedArrays() const {
+    std::vector<const ArraySymbol *> Result;
+    for (const ArraySymbol *A : P.arrays())
+      if (Layouts.count(A->getId()))
+        Result.push_back(A);
+    return Result;
+  }
+
+  std::vector<const ScalarSymbol *> programScalars() const {
+    std::vector<const ScalarSymbol *> Result;
+    for (const Symbol *S : P.symbols())
+      if (const auto *Sc = dyn_cast<ScalarSymbol>(S))
+        Result.push_back(Sc);
+    return Result;
+  }
+
+  const Layout &layoutOf(const ArraySymbol *A) const {
+    auto It = Layouts.find(A->getId());
+    if (It == Layouts.end())
+      alf_unreachable("emitting a reference to an array without storage");
+    return It->second;
+  }
+
+  /// "A_x[(i1-(0))*18 + (i2-(1))]" for the element at loop indices +
+  /// offset. Dimensions reduced by partial contraction index their
+  /// rolling buffer modulo the window size.
+  std::string elemRef(const ArraySymbol *A, const Offset &Off) const {
+    const Layout &L = layoutOf(A);
+    const xform::PartialPlan *Plan = LP.partialPlanFor(A);
+    std::string Index;
+    for (unsigned D = 0; D < L.Bounds.rank(); ++D) {
+      std::string Coord;
+      if (Plan && Plan->isReduced(D)) {
+        long long E = static_cast<long long>(Plan->BufferExtents[D]);
+        Coord = formatString("(((i%u%+d - (%lld)) %% %lld + %lld) %% %lld)",
+                             D + 1, Off[D],
+                             static_cast<long long>(Plan->OrigLo[D]), E, E, E);
+      } else {
+        Coord = formatString("(i%u%+d - (%lld))", D + 1, Off[D],
+                             static_cast<long long>(L.Bounds.lo(D)));
+      }
+      if (L.Strides[D] != 1)
+        Coord += formatString("*%lld", static_cast<long long>(L.Strides[D]));
+      Index += (D ? " + " : "") + Coord;
+    }
+    return formatString("A_%s[%s]", A->getName().c_str(), Index.c_str());
+  }
+
+  std::string renderExpr(const Expr *E) const {
+    if (const auto *C = dyn_cast<ConstExpr>(E))
+      return formatString("%.17g", C->getValue());
+    if (const auto *S = dyn_cast<ScalarRefExpr>(E)) {
+      // Contracted-array scalars are locals; program scalars are in/out
+      // pointer parameters.
+      if (P.findSymbol(S->getSymbol()->getName()) == S->getSymbol())
+        return formatString("(*S_%s)", S->getSymbol()->getName().c_str());
+      return S->getSymbol()->getName();
+    }
+    if (const auto *A = dyn_cast<ArrayRefExpr>(E))
+      return elemRef(A->getSymbol(), A->getOffset());
+    if (const auto *U = dyn_cast<UnaryExpr>(E)) {
+      std::string Op = renderExpr(U->getOperand());
+      switch (U->getOpcode()) {
+      case UnaryExpr::Opcode::Neg:
+        return "(-(" + Op + "))";
+      case UnaryExpr::Opcode::Abs:
+        return "fabs(" + Op + ")";
+      case UnaryExpr::Opcode::Sqrt:
+        return "alf_sqrt(" + Op + ")";
+      case UnaryExpr::Opcode::Exp:
+        return "alf_exp(" + Op + ")";
+      case UnaryExpr::Opcode::Log:
+        return "alf_log(" + Op + ")";
+      case UnaryExpr::Opcode::Sin:
+        return "sin(" + Op + ")";
+      case UnaryExpr::Opcode::Cos:
+        return "cos(" + Op + ")";
+      case UnaryExpr::Opcode::Recip:
+        return "alf_recip(" + Op + ")";
+      }
+      alf_unreachable("unhandled unary opcode");
+    }
+    const auto *B = cast<BinaryExpr>(E);
+    std::string L = renderExpr(B->getLHS());
+    std::string R = renderExpr(B->getRHS());
+    switch (B->getOpcode()) {
+    case BinaryExpr::Opcode::Add:
+      return "(" + L + " + " + R + ")";
+    case BinaryExpr::Opcode::Sub:
+      return "(" + L + " - " + R + ")";
+    case BinaryExpr::Opcode::Mul:
+      return "(" + L + " * " + R + ")";
+    case BinaryExpr::Opcode::Div:
+      return "alf_div(" + L + ", " + R + ")";
+    case BinaryExpr::Opcode::Min:
+      return "fmin(" + L + ", " + R + ")";
+    case BinaryExpr::Opcode::Max:
+      return "fmax(" + L + ", " + R + ")";
+    }
+    alf_unreachable("unhandled expression kind");
+  }
+
+  void emitPrelude() {
+    OS << "/* generated by ALF from program '" << P.getName() << "' */\n";
+    OS << "#include <math.h>\n";
+    OS << "#include <stdint.h>\n";
+    OS << "#include <stdio.h>\n";
+    OS << "#include <stdlib.h>\n\n";
+    // Helpers matching the ALF interpreter's guarded arithmetic exactly.
+    OS << "static double alf_sqrt(double v) { return sqrt(fabs(v)); }\n";
+    OS << "static double alf_exp(double v) { return exp(fmin(v, 40.0)); "
+          "}\n";
+    OS << "static double alf_log(double v) { return log(fabs(v) + 1e-12); "
+          "}\n";
+    OS << "static double alf_recip(double v) { return 1.0 / (v + (v >= 0 ? "
+          "1e-12 : -1e-12)); }\n";
+    OS << "static double alf_div(double l, double r) { return l / (r + (r "
+          ">= 0 ? 1e-12 : -1e-12)); }\n\n";
+  }
+
+  void emitSignature(const std::string &FnName) {
+    OS << "void " << FnName << "(";
+    bool First = true;
+    for (const ArraySymbol *A : allocatedArrays()) {
+      OS << (First ? "" : ", ") << "double *A_" << A->getName();
+      First = false;
+    }
+    for (const ScalarSymbol *S : programScalars()) {
+      OS << (First ? "" : ", ") << "double *S_" << S->getName();
+      First = false;
+    }
+    if (First)
+      OS << "void";
+    OS << ")";
+  }
+
+  unsigned maxRank() const {
+    unsigned Rank = 0;
+    for (const auto &NodePtr : LP.nodes()) {
+      if (const auto *Nest = dyn_cast<LoopNest>(NodePtr.get()))
+        Rank = std::max(Rank, Nest->R->rank());
+      if (const auto *Op = dyn_cast<OpaqueOp>(NodePtr.get()))
+        if (Op->Src->getRegion())
+          Rank = std::max(Rank, Op->Src->getRegion()->rank());
+    }
+    return Rank;
+  }
+
+  void emitNest(const LoopNest &Nest) {
+    for (const auto &[Acc, Init] : Nest.ScalarInits) {
+      std::string InitText;
+      if (std::isinf(Init))
+        InitText = Init > 0 ? "INFINITY" : "-INFINITY";
+      else
+        InitText = formatString("%.17g", Init);
+      OS << "  *S_" << Acc->getName() << " = " << InitText << ";\n";
+    }
+
+    std::string Indent = "  ";
+    for (unsigned L = 0; L < Nest.LSV.rank(); ++L) {
+      unsigned Dim = Nest.LSV.dimOf(L);
+      long long Lo = Nest.R->lo(Dim), Hi = Nest.R->hi(Dim);
+      if (Nest.LSV.dirOf(L) > 0)
+        OS << Indent
+           << formatString("for (i%u = %lld; i%u <= %lld; ++i%u)", Dim + 1,
+                           Lo, Dim + 1, Hi, Dim + 1)
+           << '\n';
+      else
+        OS << Indent
+           << formatString("for (i%u = %lld; i%u >= %lld; --i%u)", Dim + 1,
+                           Hi, Dim + 1, Lo, Dim + 1)
+           << '\n';
+      Indent += "  ";
+    }
+    OS << Indent << "{\n";
+    for (const ScalarStmt &S : Nest.Body) {
+      OS << Indent << "  ";
+      std::string RHS = renderExpr(S.RHS.get());
+      if (S.LHS.isScalar()) {
+        bool IsProgramScalar =
+            P.findSymbol(S.LHS.Scalar->getName()) == S.LHS.Scalar;
+        std::string Name = IsProgramScalar
+                               ? "(*S_" + S.LHS.Scalar->getName() + ")"
+                               : S.LHS.Scalar->getName();
+        if (!S.Accumulate) {
+          OS << Name << " = " << RHS << ";\n";
+        } else if (S.AccOp == ReduceStmt::ReduceOpKind::Sum) {
+          OS << Name << " += " << RHS << ";\n";
+        } else {
+          const char *Fn =
+              S.AccOp == ReduceStmt::ReduceOpKind::Min ? "fmin" : "fmax";
+          OS << Name << " = " << Fn << "(" << Name << ", " << RHS << ");\n";
+        }
+        continue;
+      }
+      OS << elemRef(S.LHS.Array, S.LHS.Off) << " = " << RHS << ";\n";
+    }
+    OS << Indent << "}\n";
+  }
+
+  /// Emits the deterministic opaque-statement semantics (matching
+  /// exec::Interpreter's execOpaque).
+  void emitOpaque(const OpaqueStmt &O) {
+    OS << "  /* opaque: " << O.getDesc() << " */\n";
+    const Region *R = O.getRegion();
+    if (!R) {
+      OS << "  {\n    double v = 1.0;\n";
+      for (const ScalarSymbol *S : O.scalarReads())
+        OS << "    v += 0.5 * (*S_" << S->getName() << ");\n";
+      unsigned Ordinal = 0;
+      for (const ScalarSymbol *S : O.scalarWrites())
+        OS << "    *S_" << S->getName() << " = v + " << Ordinal++ << ";\n";
+      OS << "  }\n";
+      return;
+    }
+
+    OS << "  {\n    double base = 1.0;\n";
+    for (const ScalarSymbol *S : O.scalarReads())
+      OS << "    base += 0.5 * (*S_" << S->getName() << ");\n";
+    for (size_t I = 0; I < O.scalarWrites().size(); ++I)
+      OS << "    double acc" << I << " = 0.0;\n";
+    std::string Indent = "    ";
+    for (unsigned D = 0; D < R->rank(); ++D) {
+      OS << Indent
+         << formatString("for (i%u = %lld; i%u <= %lld; ++i%u)", D + 1,
+                         static_cast<long long>(R->lo(D)), D + 1,
+                         static_cast<long long>(R->hi(D)), D + 1)
+         << '\n';
+      Indent += "  ";
+    }
+    OS << Indent << "{\n";
+    OS << Indent << "  double v = base;\n";
+    Offset Zero = Offset::zero(R->rank());
+    for (const ArraySymbol *A : O.arrayReads())
+      if (Layouts.count(A->getId()) && A->getRank() == R->rank())
+        OS << Indent << "  v += 0.5 * " << elemRef(A, Zero) << ";\n";
+    unsigned Ordinal = 0;
+    for (const ArraySymbol *A : O.arrayWrites())
+      if (Layouts.count(A->getId()) && A->getRank() == R->rank())
+        OS << Indent << "  " << elemRef(A, Zero) << " = v + " << Ordinal++
+           << ";\n";
+    for (size_t I = 0; I < O.scalarWrites().size(); ++I)
+      OS << Indent << "  acc" << I << " += v;\n";
+    OS << Indent << "}\n";
+    double Scale = 1.0 / static_cast<double>(R->size());
+    for (size_t I = 0; I < O.scalarWrites().size(); ++I)
+      OS << formatString("    *S_%s = acc%zu * %.17g;\n",
+                         O.scalarWrites()[I]->getName().c_str(), I, Scale);
+    OS << "  }\n";
+  }
+
+  void emitKernel(const std::string &FnName) {
+    emitSignature(FnName);
+    OS << " {\n";
+    unsigned Rank = maxRank();
+    if (Rank > 0) {
+      OS << "  long ";
+      for (unsigned D = 0; D < Rank; ++D)
+        OS << (D ? ", " : "") << "i" << D + 1;
+      OS << ";\n";
+    }
+    // Locals for contracted arrays' scalars.
+    for (const ArraySymbol *A : P.arrays())
+      if (const ScalarSymbol *S = LP.scalarFor(A))
+        OS << "  double " << S->getName() << " = 0.0;\n";
+
+    for (const auto &NodePtr : LP.nodes()) {
+      if (const auto *Nest = dyn_cast<LoopNest>(NodePtr.get())) {
+        emitNest(*Nest);
+        continue;
+      }
+      if (const auto *C = dyn_cast<CommOp>(NodePtr.get())) {
+        OS << "  /* halo exchange " << C->Array->getName() << C->Dir.str()
+           << " (single address space: no-op) */\n";
+        continue;
+      }
+      emitOpaque(*cast<OpaqueOp>(NodePtr.get())->Src);
+    }
+    OS << "}\n";
+  }
+
+  void emitHarness(const std::string &FnName, uint64_t Seed) {
+    // SplitMix64 + FNV-1a, bit-identical to support/Random.h and
+    // exec::hashName.
+    OS << R"(
+static uint64_t alf_rng_state;
+static uint64_t alf_rng_next(void) {
+  alf_rng_state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = alf_rng_state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+static double alf_rng_double(void) {
+  return (double)(alf_rng_next() >> 11) * 0x1.0p-53;
+}
+static uint64_t alf_hash(const char *s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (; *s; ++s) { h ^= (unsigned char)*s; h *= 0x100000001b3ULL; }
+  return h;
+}
+)";
+    OS << "\nint main(void) {\n";
+    OS << formatString("  const uint64_t seed = %lluULL;\n",
+                       static_cast<unsigned long long>(Seed));
+    OS << "  long i;\n";
+    for (const ArraySymbol *A : allocatedArrays()) {
+      const Layout &L = layoutOf(A);
+      OS << formatString("  double *A_%s = malloc(%lld * sizeof(double));\n",
+                         A->getName().c_str(),
+                         static_cast<long long>(L.size()));
+      if (A->isLiveIn()) {
+        OS << formatString("  alf_rng_state = seed ^ alf_hash(\"%s\");\n",
+                           A->getName().c_str());
+        OS << formatString("  for (i = 0; i < %lld; ++i) A_%s[i] = -1.0 + "
+                           "2.0 * alf_rng_double();\n",
+                           static_cast<long long>(L.size()),
+                           A->getName().c_str());
+      } else {
+        OS << formatString(
+            "  for (i = 0; i < %lld; ++i) A_%s[i] = 0.0;\n",
+            static_cast<long long>(L.size()), A->getName().c_str());
+      }
+    }
+    for (const ScalarSymbol *S : programScalars()) {
+      OS << formatString("  alf_rng_state = seed ^ alf_hash(\"%s\");\n",
+                         S->getName().c_str());
+      OS << formatString("  double v_%s = 0.5 + alf_rng_double();\n",
+                         S->getName().c_str());
+    }
+
+    OS << "  " << FnName << "(";
+    bool First = true;
+    for (const ArraySymbol *A : allocatedArrays()) {
+      OS << (First ? "" : ", ") << "A_" << A->getName();
+      First = false;
+    }
+    for (const ScalarSymbol *S : programScalars()) {
+      OS << (First ? "" : ", ") << "&v_" << S->getName();
+      First = false;
+    }
+    OS << ");\n";
+
+    // Checksums: plain linear sums of live-out arrays, then scalars.
+    for (const ArraySymbol *A : allocatedArrays()) {
+      if (!A->isLiveOut())
+        continue;
+      const Layout &L = layoutOf(A);
+      OS << formatString("  { double sum = 0.0; for (i = 0; i < %lld; ++i) "
+                         "sum += A_%s[i]; printf(\"%s %%.17g\\n\", sum); }\n",
+                         static_cast<long long>(L.size()),
+                         A->getName().c_str(), A->getName().c_str());
+    }
+    for (const ScalarSymbol *S : programScalars())
+      OS << formatString("  printf(\"%s %%.17g\\n\", v_%s);\n",
+                         S->getName().c_str(), S->getName().c_str());
+    for (const ArraySymbol *A : allocatedArrays())
+      OS << "  free(A_" << A->getName() << ");\n";
+    OS << "  return 0;\n}\n";
+  }
+
+  std::string take() { return OS.str(); }
+};
+
+} // namespace
+
+std::string scalarize::emitC(const LoopProgram &LP, const std::string &FnName) {
+  Emitter E(LP);
+  E.emitPrelude();
+  E.emitKernel(FnName);
+  return E.take();
+}
+
+std::string scalarize::emitCWithHarness(const LoopProgram &LP,
+                                        const std::string &FnName,
+                                        uint64_t Seed) {
+  Emitter E(LP);
+  E.emitPrelude();
+  E.emitKernel(FnName);
+  E.emitHarness(FnName, Seed);
+  return E.take();
+}

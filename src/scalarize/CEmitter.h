@@ -1,0 +1,44 @@
+//===- scalarize/CEmitter.h - C code generation ----------------*- C++ -*-===//
+//
+// Part of the ALF project: array-level fusion and contraction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits a compilable C99 translation unit from a scalarized LoopProgram —
+/// the code an array-language compiler hands to the node compiler. Arrays
+/// become flat row-major `double *` parameters laid out over their
+/// footprint bounds; contracted arrays become locals; reductions become
+/// accumulator loops; program scalars are passed by pointer (in/out).
+///
+/// `emitCWithHarness` additionally emits a `main` that allocates and
+/// seeds every array exactly as the ALF interpreter does (same SplitMix64
+/// streams keyed by array name), runs the kernel, and prints a checksum
+/// per live-out array plus every scalar — so the emitted code can be
+/// validated end-to-end against `exec::run` (see CEmitterTest).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALF_SCALARIZE_CEMITTER_H
+#define ALF_SCALARIZE_CEMITTER_H
+
+#include "scalarize/LoopIR.h"
+
+#include <cstdint>
+#include <string>
+
+namespace alf {
+namespace scalarize {
+
+/// Emits the kernel function \p FnName implementing \p LP.
+std::string emitC(const lir::LoopProgram &LP, const std::string &FnName);
+
+/// Emits the kernel plus a self-contained main() harness seeded with
+/// \p Seed (matching exec::run's initialization).
+std::string emitCWithHarness(const lir::LoopProgram &LP,
+                             const std::string &FnName, uint64_t Seed);
+
+} // namespace scalarize
+} // namespace alf
+
+#endif // ALF_SCALARIZE_CEMITTER_H

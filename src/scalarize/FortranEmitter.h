@@ -1,0 +1,38 @@
+//===- scalarize/FortranEmitter.h - Fortran 77 code generation -*- C++ -*-===//
+//
+// Part of the ALF project: array-level fusion and contraction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits Fortran 77 from a scalarized LoopProgram — the form the paper
+/// itself uses to show scalarized array code (Figure 1(b)'s hand-written
+/// loop with the scalar `s`, Figure 2(c)'s DO nests). Arrays are
+/// declared with their footprint bounds (`DOUBLE PRECISION A(0:9,1:8)`),
+/// contracted arrays become local scalars, loop structure vectors become
+/// DO loops with direction-aware bounds and strides, and reductions
+/// become accumulator updates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALF_SCALARIZE_FORTRANEMITTER_H
+#define ALF_SCALARIZE_FORTRANEMITTER_H
+
+#include "scalarize/LoopIR.h"
+
+#include <string>
+
+namespace alf {
+namespace scalarize {
+
+/// Emits a Fortran 77 SUBROUTINE \p SubName implementing \p LP. Array
+/// parameters use footprint bounds; program scalars are passed as
+/// DOUBLE PRECISION arguments (in/out). Partial-contraction rolling
+/// buffers use MOD-indexed dimensions.
+std::string emitFortran(const lir::LoopProgram &LP,
+                        const std::string &SubName);
+
+} // namespace scalarize
+} // namespace alf
+
+#endif // ALF_SCALARIZE_FORTRANEMITTER_H

@@ -1,0 +1,204 @@
+//===- scalarize/LoopIR.h - Scalarized loop nest IR ------------*- C++ -*-===//
+//
+// Part of the ALF project: array-level fusion and contraction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The target of scalarization: a sequence of loop nests (one per fusible
+/// cluster), communication operations and opaque operations. Each loop
+/// nest carries the loop structure vector chosen by FIND-LOOP-STRUCTURE
+/// and a body of element-wise scalar statements in dependence order.
+/// Contracted arrays appear as scalar variables owned by the LoopProgram.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALF_SCALARIZE_LOOPIR_H
+#define ALF_SCALARIZE_LOOPIR_H
+
+#include "ir/Program.h"
+#include "xform/LoopStructure.h"
+#include "xform/PartialContraction.h"
+
+#include <map>
+#include <memory>
+#include <ostream>
+#include <vector>
+
+namespace alf {
+namespace lir {
+
+/// The left-hand side of a scalarized statement: either an array element
+/// at a constant offset from the loop indices, or a scalar (a contracted
+/// array or a plain scalar variable).
+struct Target {
+  const ir::ArraySymbol *Array = nullptr; // null => scalar target
+  ir::Offset Off;
+  const ir::ScalarSymbol *Scalar = nullptr;
+
+  bool isScalar() const { return Scalar != nullptr; }
+
+  static Target elem(const ir::ArraySymbol *A, ir::Offset O) {
+    Target T;
+    T.Array = A;
+    T.Off = std::move(O);
+    return T;
+  }
+  static Target scalar(const ir::ScalarSymbol *S) {
+    Target T;
+    T.Scalar = S;
+    return T;
+  }
+};
+
+/// One element-wise assignment inside a loop nest body. The right-hand
+/// side reuses the ir::Expr tree; ArrayRefExpr means "element at loop
+/// indices + offset", ScalarRefExpr may name a contracted array's scalar.
+/// When `Accumulate` is set the statement folds the value into a scalar
+/// accumulator (`LHS op= RHS`) instead of assigning.
+struct ScalarStmt {
+  Target LHS;
+  ir::ExprPtr RHS;
+  unsigned SrcStmtId = 0; ///< Provenance: originating array statement.
+  bool Accumulate = false;
+  ir::ReduceStmt::ReduceOpKind AccOp = ir::ReduceStmt::ReduceOpKind::Sum;
+};
+
+/// Base class for the nodes of a LoopProgram.
+class LNode {
+public:
+  enum class LNodeKind { Loop, Comm, Opaque };
+
+private:
+  LNodeKind Kind;
+
+protected:
+  explicit LNode(LNodeKind Kind) : Kind(Kind) {}
+
+public:
+  virtual ~LNode();
+  LNodeKind getKind() const { return Kind; }
+};
+
+/// A loop nest implementing one fusible cluster. Accumulators of any
+/// reductions in the body are initialized to their identity before the
+/// nest runs (ScalarInits).
+class LoopNest : public LNode {
+public:
+  xform::LoopStructureVector LSV;
+  const ir::Region *R = nullptr;
+  std::vector<ScalarStmt> Body;
+  std::vector<std::pair<const ir::ScalarSymbol *, double>> ScalarInits;
+  unsigned ClusterId = 0;
+
+  LoopNest() : LNode(LNodeKind::Loop) {}
+
+  static bool classof(const LNode *N) {
+    return N->getKind() == LNodeKind::Loop;
+  }
+};
+
+/// A halo-exchange communication operation. `Dir` has exactly one nonzero
+/// component: sign gives the neighbour direction along the distributed
+/// dimension, magnitude the halo width in elements. Created either by
+/// scalarizing an array-level CommStmt (favor-communication policy) or by
+/// loop-level insertion after fusion (favor-fusion policy).
+class CommOp : public LNode {
+public:
+  const ir::ArraySymbol *Array = nullptr;
+  ir::Offset Dir;
+  ir::CommStmt::CommPhase Phase = ir::CommStmt::CommPhase::Whole;
+  int PairId = -1;
+  const ir::CommStmt *Src = nullptr; ///< Provenance when array-level.
+
+  CommOp() : LNode(LNodeKind::Comm) {}
+
+  static bool classof(const LNode *N) {
+    return N->getKind() == LNodeKind::Comm;
+  }
+};
+
+/// An opaque operation carried over from the array program.
+class OpaqueOp : public LNode {
+public:
+  const ir::OpaqueStmt *Src = nullptr;
+
+  OpaqueOp() : LNode(LNodeKind::Opaque) {}
+
+  static bool classof(const LNode *N) {
+    return N->getKind() == LNodeKind::Opaque;
+  }
+};
+
+/// A fully scalarized program: the loop nests of all clusters in
+/// topological order plus the scalars created by contraction.
+class LoopProgram {
+  const ir::Program *Src = nullptr;
+  std::vector<std::unique_ptr<LNode>> Nodes;
+  std::vector<std::unique_ptr<ir::ScalarSymbol>> OwnedScalars;
+  std::map<const ir::ArraySymbol *, const ir::ScalarSymbol *> ContractionMap;
+  std::map<const ir::ArraySymbol *, xform::PartialPlan> PartialMap;
+
+public:
+  explicit LoopProgram(const ir::Program &SrcProg) : Src(&SrcProg) {}
+
+  const ir::Program &source() const { return *Src; }
+
+  void addNode(std::unique_ptr<LNode> N) { Nodes.push_back(std::move(N)); }
+
+  /// Inserts \p N before position \p Pos (communication insertion).
+  void insertNode(size_t Pos, std::unique_ptr<LNode> N) {
+    Nodes.insert(Nodes.begin() + static_cast<ptrdiff_t>(Pos), std::move(N));
+  }
+
+  const std::vector<std::unique_ptr<LNode>> &nodes() const { return Nodes; }
+
+  /// Mutable access for post-scalarization passes (communication
+  /// insertion, ablation experiments that override loop structures).
+  std::vector<std::unique_ptr<LNode>> &nodesMutable() { return Nodes; }
+
+  /// Registers \p A as contracted and returns its replacement scalar.
+  const ir::ScalarSymbol *addContraction(const ir::ArraySymbol *A);
+
+  /// The scalar replacing \p A, or null when A was not contracted.
+  const ir::ScalarSymbol *scalarFor(const ir::ArraySymbol *A) const {
+    auto It = ContractionMap.find(A);
+    return It == ContractionMap.end() ? nullptr : It->second;
+  }
+
+  /// True if array \p A was contracted away.
+  bool isContracted(const ir::ArraySymbol *A) const {
+    return ContractionMap.count(A) != 0;
+  }
+
+  /// Registers a rolling-buffer plan for a partially contracted array
+  /// (the paper's lower-dimensional contraction extension).
+  void addPartialPlan(xform::PartialPlan Plan) {
+    PartialMap.emplace(Plan.Array, std::move(Plan));
+  }
+
+  /// The rolling-buffer plan for \p A, or null when A has full storage.
+  const xform::PartialPlan *partialPlanFor(const ir::ArraySymbol *A) const {
+    auto It = PartialMap.find(A);
+    return It == PartialMap.end() ? nullptr : &It->second;
+  }
+
+  const std::map<const ir::ArraySymbol *, xform::PartialPlan> &
+  partialPlans() const {
+    return PartialMap;
+  }
+
+  /// Arrays that still require storage (not contracted).
+  std::vector<const ir::ArraySymbol *> allocatedArrays() const;
+
+  /// Writes C-like loop nests.
+  void print(std::ostream &OS) const;
+
+  /// Returns print() output as a string.
+  std::string str() const;
+};
+
+} // namespace lir
+} // namespace alf
+
+#endif // ALF_SCALARIZE_LOOPIR_H

@@ -1,0 +1,175 @@
+//===- scalarize/Scalarize.cpp - Scalarization ------------------------------===//
+
+#include "scalarize/Scalarize.h"
+
+#include "support/ErrorHandling.h"
+#include "support/Statistic.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+
+using namespace alf;
+using namespace alf::analysis;
+using namespace alf::ir;
+using namespace alf::lir;
+using namespace alf::scalarize;
+using namespace alf::xform;
+
+namespace {
+
+/// Kahn's algorithm with a min-heap: deterministic topological order that
+/// follows program order whenever dependences allow.
+std::vector<unsigned>
+topoSort(const std::vector<unsigned> &Nodes,
+         const std::vector<std::pair<unsigned, unsigned>> &Edges) {
+  std::map<unsigned, unsigned> InDegree;
+  std::map<unsigned, std::vector<unsigned>> Succ;
+  for (unsigned N : Nodes)
+    InDegree[N] = 0;
+  for (auto [S, T] : Edges) {
+    Succ[S].push_back(T);
+    ++InDegree[T];
+  }
+  std::priority_queue<unsigned, std::vector<unsigned>, std::greater<unsigned>>
+      Ready;
+  for (unsigned N : Nodes)
+    if (InDegree[N] == 0)
+      Ready.push(N);
+  std::vector<unsigned> Order;
+  Order.reserve(Nodes.size());
+  while (!Ready.empty()) {
+    unsigned N = Ready.top();
+    Ready.pop();
+    Order.push_back(N);
+    for (unsigned T : Succ[N])
+      if (--InDegree[T] == 0)
+        Ready.push(T);
+  }
+  if (Order.size() != Nodes.size())
+    alf_unreachable("cycle in graph handed to scalarization");
+  return Order;
+}
+
+} // namespace
+
+lir::LoopProgram scalarize::scalarize(const ASDG &G, const StrategyResult &SR) {
+  const Program &Prog = G.getProgram();
+  const FusionPartition &P = SR.Partition;
+  LoopProgram LP(Prog);
+
+  // Pre-register every contracted array so reads and writes agree on the
+  // replacement scalar regardless of emission order.
+  {
+    ALF_STATISTIC(NumArraysContracted, "contract",
+                  "Arrays contracted to scalars");
+    NumArraysContracted += SR.Contracted.size();
+  }
+  for (const ArraySymbol *A : SR.Contracted)
+    LP.addContraction(A);
+
+  // Inter-cluster topological order.
+  std::vector<unsigned> Clusters = P.clusters();
+  std::vector<unsigned> ClusterOrder = topoSort(Clusters, P.clusterEdges());
+
+  for (unsigned Cluster : ClusterOrder) {
+    std::vector<unsigned> Members = P.members(Cluster);
+
+    // Non-normalized statements live in singleton clusters.
+    if (Members.size() == 1) {
+      const Stmt *S = Prog.getStmt(Members.front());
+      if (const auto *CS = dyn_cast<CommStmt>(S)) {
+        auto Node = std::make_unique<CommOp>();
+        Node->Array = CS->getArray();
+        Node->Dir = CS->getDir();
+        Node->Phase = CS->getPhase();
+        Node->PairId = CS->getPairId();
+        Node->Src = CS;
+        LP.addNode(std::move(Node));
+        continue;
+      }
+      if (const auto *OS = dyn_cast<OpaqueStmt>(S)) {
+        auto Node = std::make_unique<OpaqueOp>();
+        Node->Src = OS;
+        LP.addNode(std::move(Node));
+        continue;
+      }
+    }
+
+    // Intra-cluster topological order of the member statements.
+    std::set<unsigned> InCluster(Members.begin(), Members.end());
+    std::vector<std::pair<unsigned, unsigned>> IntraEdges;
+    for (const DepEdge &E : G.edges())
+      if (InCluster.count(E.Src) && InCluster.count(E.Tgt))
+        IntraEdges.push_back({E.Src, E.Tgt});
+    std::vector<unsigned> StmtOrder = topoSort(Members, IntraEdges);
+
+    // Loop structure for the nest.
+    auto Nest = std::make_unique<LoopNest>();
+    Nest->ClusterId = Cluster;
+    const Stmt *First = Prog.getStmt(Members.front());
+    if (const auto *NS = dyn_cast<NormalizedStmt>(First))
+      Nest->R = NS->getRegion();
+    else
+      Nest->R = cast<ReduceStmt>(First)->getRegion();
+    auto UDVs = P.internalUDVs(std::set<unsigned>{Cluster});
+    if (!UDVs)
+      alf_unreachable("unrepresentable dependence inside a fusible cluster");
+    auto LSV = findLoopStructure(*UDVs, Nest->R->rank());
+    if (!LSV)
+      alf_unreachable("no loop structure vector for a fusible cluster");
+    Nest->LSV = *LSV;
+
+    // Emit the body, rewriting contracted arrays to scalars.
+    auto RewriteContracted = [&LP](const ArrayRefExpr &Ref) -> ExprPtr {
+      if (const ScalarSymbol *Scalar = LP.scalarFor(Ref.getSymbol()))
+        return sref(Scalar);
+      return nullptr;
+    };
+    for (unsigned StmtId : StmtOrder) {
+      const Stmt *S = Prog.getStmt(StmtId);
+      ScalarStmt SS;
+      SS.SrcStmtId = StmtId;
+      if (const auto *RS = dyn_cast<ReduceStmt>(S)) {
+        SS.LHS = Target::scalar(RS->getAccumulator());
+        SS.RHS = cloneExprRewriting(RS->getBody(), RewriteContracted);
+        SS.Accumulate = true;
+        SS.AccOp = RS->getOp();
+        Nest->ScalarInits.push_back(
+            {RS->getAccumulator(), ReduceStmt::identity(RS->getOp())});
+        Nest->Body.push_back(std::move(SS));
+        continue;
+      }
+      const auto *NS = cast<NormalizedStmt>(S);
+      if (const ScalarSymbol *Scalar = LP.scalarFor(NS->getLHS()))
+        SS.LHS = Target::scalar(Scalar);
+      else
+        SS.LHS = Target::elem(NS->getLHS(), NS->getLHSOffset());
+      SS.RHS = cloneExprRewriting(NS->getRHS(), RewriteContracted);
+      Nest->Body.push_back(std::move(SS));
+    }
+    {
+      ALF_STATISTIC(NumLoopNests, "scalarize", "Loop nests emitted");
+      ++NumLoopNests;
+    }
+    LP.addNode(std::move(Nest));
+  }
+  return LP;
+}
+
+lir::LoopProgram scalarize::scalarizeWithStrategy(const ASDG &G, Strategy S) {
+  StrategyResult SR = applyStrategy(G, S);
+  return scalarize(G, SR);
+}
+
+lir::LoopProgram
+scalarize::scalarizeWithPartialContraction(const ASDG &G, Strategy S,
+                                           const SequentialDims &Seq) {
+  std::vector<PartialPlan> Plans;
+  StrategyResult SR = applyStrategyWithPartialContraction(G, S, Seq, Plans);
+  LoopProgram LP = scalarize(G, SR);
+  for (PartialPlan &Plan : Plans)
+    LP.addPartialPlan(std::move(Plan));
+  return LP;
+}

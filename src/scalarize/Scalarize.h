@@ -1,0 +1,46 @@
+//===- scalarize/Scalarize.h - Scalarization ------------------*- C++ -*-===//
+//
+// Part of the ALF project: array-level fusion and contraction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scalarization (paper section 4.2): "generates a loop nest for each
+/// fusible cluster in a fusion partition, where the loop nests and the
+/// statements in the loop nests are ordered by a topological sort using
+/// inter- and intra-fusible-cluster dependences, respectively". The loop
+/// structure of each nest is the vector found by FIND-LOOP-STRUCTURE.
+/// Arrays selected for contraction are rewritten to scalars (all their
+/// references carry the same offset inside one nest, by Definition 6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALF_SCALARIZE_SCALARIZE_H
+#define ALF_SCALARIZE_SCALARIZE_H
+
+#include "scalarize/LoopIR.h"
+#include "xform/Strategy.h"
+
+namespace alf {
+namespace scalarize {
+
+/// Lowers \p SR's fusion partition over \p G's program into loop nests,
+/// contracting the arrays in \p SR.Contracted.
+lir::LoopProgram scalarize(const analysis::ASDG &G,
+                           const xform::StrategyResult &SR);
+
+/// Convenience: apply \p S to \p G and scalarize the result.
+lir::LoopProgram scalarizeWithStrategy(const analysis::ASDG &G,
+                                       xform::Strategy S);
+
+/// Applies \p S plus the lower-dimensional contraction extension (paper
+/// section 5.2 future work): arrays whose dependences are carried only
+/// along the sequential dimensions in \p Seq become rolling buffers.
+lir::LoopProgram
+scalarizeWithPartialContraction(const analysis::ASDG &G, xform::Strategy S,
+                                const xform::SequentialDims &Seq);
+
+} // namespace scalarize
+} // namespace alf
+
+#endif // ALF_SCALARIZE_SCALARIZE_H

@@ -1,0 +1,58 @@
+//===- support/Casting.h - LLVM-style isa/cast/dyn_cast -------*- C++ -*-===//
+//
+// Part of the ALF project: array-level fusion and contraction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal reimplementation of LLVM's `isa<>`, `cast<>` and `dyn_cast<>`
+/// templates. Classes opt in by providing a `static bool classof(const
+/// Base *)` member, typically testing a Kind discriminator. This gives the
+/// project checked downcasts without enabling C++ RTTI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALF_SUPPORT_CASTING_H
+#define ALF_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace alf {
+
+/// Returns true if \p Val is an instance of \p To (per To::classof).
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast: asserts that \p Val really is a \p To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+/// Checked downcast (const overload).
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast: returns null when \p Val is not a \p To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+/// Checking downcast (const overload).
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Like dyn_cast, but accepts (and propagates) null.
+template <typename To, typename From> To *dyn_cast_if_present(From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+} // namespace alf
+
+#endif // ALF_SUPPORT_CASTING_H

@@ -1,0 +1,32 @@
+//===- support/ErrorHandling.h - Fatal error utilities ---------*- C++ -*-===//
+//
+// Part of the ALF project: array-level fusion and contraction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `alf_unreachable` marks code paths that are bugs to reach, in the spirit
+/// of `llvm_unreachable`. ALF library code does not throw; invariant
+/// violations abort with a diagnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALF_SUPPORT_ERRORHANDLING_H
+#define ALF_SUPPORT_ERRORHANDLING_H
+
+namespace alf {
+
+/// Aborts with \p Msg, annotated with the source location of the caller.
+[[noreturn]] void reportUnreachable(const char *Msg, const char *File,
+                                    unsigned Line);
+
+/// Aborts with a fatal-error diagnostic. Used for errors that are not
+/// internal invariant violations but for which no recovery is sensible in
+/// this library (e.g. malformed generated tables).
+[[noreturn]] void reportFatalError(const char *Msg);
+
+} // namespace alf
+
+#define alf_unreachable(MSG) ::alf::reportUnreachable(MSG, __FILE__, __LINE__)
+
+#endif // ALF_SUPPORT_ERRORHANDLING_H

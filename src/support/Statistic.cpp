@@ -1,0 +1,59 @@
+//===- support/Statistic.cpp - Pass statistics counters ---------------------===//
+
+#include "support/Statistic.h"
+
+#include "support/StringUtil.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+using namespace alf;
+
+namespace {
+
+/// Lazily constructed registry (no static constructor at load time).
+std::vector<Statistic *> &registry() {
+  static std::vector<Statistic *> R;
+  return R;
+}
+
+} // namespace
+
+void Statistic::registerSelf() {
+  registry().push_back(this);
+  Registered = true;
+}
+
+void alf::printStatistics(std::ostream &OS) {
+  std::vector<Statistic *> Sorted = registry();
+  std::stable_sort(Sorted.begin(), Sorted.end(),
+                   [](const Statistic *L, const Statistic *R) {
+                     int Cmp = std::strcmp(L->getGroup(), R->getGroup());
+                     if (Cmp != 0)
+                       return Cmp < 0;
+                     return std::strcmp(L->getName(), R->getName()) < 0;
+                   });
+  OS << "=== Statistics ===\n";
+  for (const Statistic *S : Sorted) {
+    if (S->value() == 0)
+      continue;
+    OS << formatString("%8llu %-12s %s\n",
+                       static_cast<unsigned long long>(S->value()),
+                       S->getGroup(), S->getDesc());
+  }
+}
+
+void alf::resetStatistics() {
+  for (Statistic *S : registry())
+    S->reset();
+}
+
+uint64_t alf::getStatisticValue(const char *Group, const char *Name) {
+  uint64_t Total = 0;
+  for (const Statistic *S : registry())
+    if (std::strcmp(S->getGroup(), Group) == 0 &&
+        std::strcmp(S->getName(), Name) == 0)
+      Total += S->value();
+  return Total;
+}

@@ -1,0 +1,83 @@
+//===- support/Statistic.h - Pass statistics counters ----------*- C++ -*-===//
+//
+// Part of the ALF project: array-level fusion and contraction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LLVM-style pass statistics: cheap named counters that passes bump as
+/// they work, printable as a report (`zplc --stats`). Counters register
+/// themselves lazily on first use (no static constructors) and are
+/// resettable so tools can scope them to one compilation.
+///
+/// Usage:
+/// \code
+///   ALF_STATISTIC(NumMerges, "fusion", "Cluster merges performed");
+///   ...
+///   ++NumMerges;
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALF_SUPPORT_STATISTIC_H
+#define ALF_SUPPORT_STATISTIC_H
+
+#include <cstdint>
+#include <ostream>
+
+namespace alf {
+
+/// One named counter. Define at namespace/function scope with
+/// ALF_STATISTIC; the counter registers itself on first increment.
+class Statistic {
+  const char *Group;
+  const char *Name;
+  const char *Desc;
+  uint64_t Value = 0;
+  bool Registered = false;
+
+  void registerSelf();
+
+public:
+  Statistic(const char *Group, const char *Name, const char *Desc)
+      : Group(Group), Name(Name), Desc(Desc) {}
+
+  const char *getGroup() const { return Group; }
+  const char *getName() const { return Name; }
+  const char *getDesc() const { return Desc; }
+  uint64_t value() const { return Value; }
+
+  Statistic &operator++() {
+    if (!Registered)
+      registerSelf();
+    ++Value;
+    return *this;
+  }
+
+  Statistic &operator+=(uint64_t N) {
+    if (!Registered)
+      registerSelf();
+    Value += N;
+    return *this;
+  }
+
+  /// Zeroes the counter (used by resetStatistics through the registry).
+  void reset() { Value = 0; }
+};
+
+/// Writes all nonzero counters, grouped, aligned.
+void printStatistics(std::ostream &OS);
+
+/// Zeroes every registered counter.
+void resetStatistics();
+
+/// Sum of a registered counter by group/name; 0 when absent (useful in
+/// tests).
+uint64_t getStatisticValue(const char *Group, const char *Name);
+
+} // namespace alf
+
+#define ALF_STATISTIC(VAR, GROUP, DESC)                                      \
+  static ::alf::Statistic VAR(GROUP, #VAR, DESC)
+
+#endif // ALF_SUPPORT_STATISTIC_H

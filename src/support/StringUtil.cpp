@@ -1,0 +1,43 @@
+//===- support/StringUtil.cpp - String formatting helpers ----------------===//
+
+#include "support/StringUtil.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+using namespace alf;
+
+std::string alf::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Size = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  std::string Result;
+  if (Size > 0) {
+    Result.resize(static_cast<size_t>(Size));
+    std::vsnprintf(Result.data(), Result.size() + 1, Fmt, ArgsCopy);
+  }
+  va_end(ArgsCopy);
+  return Result;
+}
+
+std::string alf::join(const std::vector<std::string> &Parts,
+                      const std::string &Sep) {
+  std::string Result;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Result += Sep;
+    Result += Parts[I];
+  }
+  return Result;
+}
+
+std::string alf::formatDouble(double Value, unsigned Digits) {
+  return formatString("%.*f", static_cast<int>(Digits), Value);
+}
+
+std::string alf::formatPercent(double Value) {
+  return formatString("%+.1f%%", Value);
+}

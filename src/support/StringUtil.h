@@ -1,0 +1,39 @@
+//===- support/StringUtil.h - String formatting helpers --------*- C++ -*-===//
+//
+// Part of the ALF project: array-level fusion and contraction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small string helpers shared by printers and the benchmark harnesses:
+/// printf-style formatting into std::string, joining, and fixed-precision
+/// number rendering.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALF_SUPPORT_STRINGUTIL_H
+#define ALF_SUPPORT_STRINGUTIL_H
+
+#include <string>
+#include <vector>
+
+namespace alf {
+
+/// printf-style formatting returning a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+/// Renders \p Value with \p Digits fractional digits ("12.34").
+std::string formatDouble(double Value, unsigned Digits);
+
+/// Renders \p Value as a percentage string with one fractional digit and a
+/// leading sign for positive values ("+12.3%", "-4.0%").
+std::string formatPercent(double Value);
+
+} // namespace alf
+
+#endif // ALF_SUPPORT_STRINGUTIL_H

@@ -1,0 +1,45 @@
+//===- support/TextTable.cpp - Aligned text table printer ----------------===//
+
+#include "support/TextTable.h"
+
+#include <algorithm>
+
+using namespace alf;
+
+void TextTable::print(std::ostream &OS) const {
+  // Compute column widths across header and all rows.
+  std::vector<size_t> Widths;
+  auto Grow = [&Widths](const std::vector<std::string> &Row) {
+    if (Row.size() > Widths.size())
+      Widths.resize(Row.size(), 0);
+    for (size_t I = 0; I < Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+  };
+  Grow(Header);
+  for (const auto &Row : Rows)
+    Grow(Row);
+
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size(); ++I) {
+      if (I != 0)
+        OS << "  ";
+      size_t Pad = Widths[I] - Row[I].size();
+      if (I == 0) {
+        OS << Row[I] << std::string(Pad, ' ');
+      } else {
+        OS << std::string(Pad, ' ') << Row[I];
+      }
+    }
+    OS << '\n';
+  };
+
+  if (!Header.empty()) {
+    PrintRow(Header);
+    size_t Total = 0;
+    for (size_t I = 0; I < Widths.size(); ++I)
+      Total += Widths[I] + (I == 0 ? 0 : 2);
+    OS << std::string(Total, '-') << '\n';
+  }
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}

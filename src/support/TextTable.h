@@ -1,0 +1,47 @@
+//===- support/TextTable.h - Aligned text table printer --------*- C++ -*-===//
+//
+// Part of the ALF project: array-level fusion and contraction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simple column-aligned text table, used by every benchmark harness to
+/// print the paper-style tables (Figures 6-11). Cells are strings; columns
+/// are padded to the widest cell.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALF_SUPPORT_TEXTTABLE_H
+#define ALF_SUPPORT_TEXTTABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace alf {
+
+/// Column-aligned text table with an optional header row and separator.
+class TextTable {
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+
+public:
+  /// Sets the header row.
+  void setHeader(std::vector<std::string> Cells) { Header = std::move(Cells); }
+
+  /// Appends a data row.
+  void addRow(std::vector<std::string> Cells) {
+    Rows.push_back(std::move(Cells));
+  }
+
+  /// Number of data rows added so far.
+  size_t numRows() const { return Rows.size(); }
+
+  /// Writes the table, padding each column to its widest cell. The first
+  /// column is left-aligned, remaining columns right-aligned (numbers).
+  void print(std::ostream &OS) const;
+};
+
+} // namespace alf
+
+#endif // ALF_SUPPORT_TEXTTABLE_H

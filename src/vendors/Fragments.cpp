@@ -1,0 +1,127 @@
+//===- vendors/Fragments.cpp - The Figure 5 probe fragments -----------------===//
+
+#include "vendors/Fragments.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace alf;
+using namespace alf::ir;
+using namespace alf::vendors;
+
+std::unique_ptr<Program> vendors::buildFragment(unsigned Id) {
+  auto P = std::make_unique<Program>("figure5-" + std::to_string(Id));
+  const Region *R = P->regionFromExtents({16, 16});
+
+  switch (Id) {
+  case 1: {
+    // B = A + A ; C = A * A  (temporal reuse of A, no dependences)
+    ArraySymbol *A = P->makeArray("A", 2);
+    ArraySymbol *B = P->makeArray("B", 2);
+    ArraySymbol *C = P->makeArray("C", 2);
+    P->assign(R, B, add(aref(A), aref(A)));
+    P->assign(R, C, mul(aref(A), aref(A)));
+    return P;
+  }
+  case 2: {
+    // B = A@(-1,0) + A@(-1,0) ; C = A * A  (offset reads, still no deps)
+    ArraySymbol *A = P->makeArray("A", 2);
+    ArraySymbol *B = P->makeArray("B", 2);
+    ArraySymbol *C = P->makeArray("C", 2);
+    P->assign(R, B, add(aref(A, {-1, 0}), aref(A, {-1, 0})));
+    P->assign(R, C, mul(aref(A), aref(A)));
+    return P;
+  }
+  case 3: {
+    // B = A@(-1,0) + C@(-1,0) ; C = A * A  (anti-dependence on C)
+    ArraySymbol *A = P->makeArray("A", 2);
+    ArraySymbol *B = P->makeArray("B", 2);
+    ArraySymbol *C = P->makeArray("C", 2);
+    P->assign(R, B, add(aref(A, {-1, 0}), aref(C, {-1, 0})));
+    P->assign(R, C, mul(aref(A), aref(A)));
+    return P;
+  }
+  case 4: {
+    // A = A@(-1,0) + A@(-1,0)  (self-update: compiler temporary needed)
+    ArraySymbol *A = P->makeArray("A", 2);
+    P->assign(R, A, add(aref(A, {-1, 0}), aref(A, {-1, 0})));
+    return P;
+  }
+  case 5: {
+    // A = A + A  (aligned self-update)
+    ArraySymbol *A = P->makeArray("A", 2);
+    P->assign(R, A, add(aref(A), aref(A)));
+    return P;
+  }
+  case 6: {
+    // B = A + A ; C = B  (user temporary B, dead afterwards)
+    ArraySymbol *A = P->makeArray("A", 2);
+    ArraySymbol *B = P->makeUserTemp("B", 2);
+    ArraySymbol *C = P->makeArray("C", 2);
+    P->assign(R, B, add(aref(A), aref(A)));
+    P->assign(R, C, aref(B));
+    return P;
+  }
+  case 7: {
+    // B = A + A + C@(-1,0) ; C = B  (user temporary + anti-dependence)
+    ArraySymbol *A = P->makeArray("A", 2);
+    ArraySymbol *B = P->makeUserTemp("B", 2);
+    ArraySymbol *C = P->makeArray("C", 2);
+    P->assign(R, B, add(add(aref(A), aref(A)), aref(C, {-1, 0})));
+    P->assign(R, C, aref(B));
+    return P;
+  }
+  case 8: {
+    // T1 = A@(-1,0) + B ; T2 = A@(-1,0) + T1 ; A = A@(1,0) + T1 + T2
+    //
+    // The third statement needs a compiler temporary (_T1). Contracting
+    // T1 and T2 requires fusing their producers with _T1's definition;
+    // afterwards, pulling in the copy-out `A := _T1` would need a loop
+    // carrying the anti-dependences on A in both directions ((-1,0) from
+    // the producers and (1,0) from the definition), which no loop
+    // structure satisfies — so either {T1, T2} or {_T1} can be
+    // contracted, not both. Reference weights favor the user arrays.
+    ArraySymbol *A = P->makeArray("A", 2);
+    ArraySymbol *B = P->makeArray("B", 2);
+    ArraySymbol *T1 = P->makeUserTemp("T1", 2);
+    ArraySymbol *T2 = P->makeUserTemp("T2", 2);
+    P->assign(R, T1, add(aref(A, {-1, 0}), aref(B)));
+    P->assign(R, T2, add(aref(A, {-1, 0}), aref(T1)));
+    P->assign(R, A, add(add(aref(A, {1, 0}), aref(T1)), aref(T2)));
+    return P;
+  }
+  default:
+    alf_unreachable("fragment id out of range");
+  }
+}
+
+ProbeKind vendors::probeKindOf(unsigned Id) {
+  if (Id <= 3)
+    return ProbeKind::Fusion;
+  if (Id <= 5)
+    return ProbeKind::CompilerContract;
+  if (Id <= 7)
+    return ProbeKind::UserContract;
+  return ProbeKind::TradeOff;
+}
+
+std::string vendors::describeFragment(unsigned Id) {
+  switch (Id) {
+  case 1:
+    return "fusion for locality, no dependences";
+  case 2:
+    return "fusion for locality, offset reads";
+  case 3:
+    return "fusion carrying an anti-dependence";
+  case 4:
+    return "compiler temporary, shifted self-update";
+  case 5:
+    return "compiler temporary, aligned self-update";
+  case 6:
+    return "user temporary contraction";
+  case 7:
+    return "user temporary contraction with anti-dependence";
+  case 8:
+    return "user-vs-compiler contraction trade-off";
+  }
+  return "?";
+}

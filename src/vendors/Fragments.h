@@ -1,0 +1,60 @@
+//===- vendors/Fragments.h - The Figure 5 probe fragments ------*- C++ -*-===//
+//
+// Part of the ALF project: array-level fusion and contraction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The eight code fragments of paper Figure 5, used in section 5.1 to
+/// probe what fusion and contraction commercial compilers perform:
+///
+///   (1)-(3) statement fusion for temporal locality, with progressively
+///           harder data dependences ((3) carries an anti-dependence),
+///   (4)-(5) elimination of compiler temporaries (self-updates),
+///   (6)-(7) elimination of user temporaries ((7) adds an anti-dep),
+///   (8)     the compiler-vs-user contraction trade-off: two user arrays
+///           are contractible only if contraction of the compiler array
+///           for the third statement is sacrificed.
+///
+/// The source text of fragment (8) is corrupt in our copy of the paper;
+/// the version built here is reconstructed to exercise exactly the
+/// trade-off the text describes (see EXPERIMENTS.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALF_VENDORS_FRAGMENTS_H
+#define ALF_VENDORS_FRAGMENTS_H
+
+#include "ir/Program.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace alf {
+namespace vendors {
+
+/// Number of probe fragments (Figure 5).
+inline constexpr unsigned NumFragments = 8;
+
+/// What the probe checks, per fragment group.
+enum class ProbeKind {
+  Fusion,           ///< (1)-(3): are the two statements in one nest?
+  CompilerContract, ///< (4)-(5): is the compiler temporary eliminated?
+  UserContract,     ///< (6)-(7): is the user temporary B eliminated?
+  TradeOff          ///< (8): are both user temporaries eliminated?
+};
+
+/// Builds fragment \p Id (1-based), pre-normalization.
+std::unique_ptr<ir::Program> buildFragment(unsigned Id);
+
+/// The probe kind of fragment \p Id.
+ProbeKind probeKindOf(unsigned Id);
+
+/// One-line description of fragment \p Id (used in reports).
+std::string describeFragment(unsigned Id);
+
+} // namespace vendors
+} // namespace alf
+
+#endif // ALF_VENDORS_FRAGMENTS_H

@@ -1,0 +1,375 @@
+//===- xform/FusionPartition.cpp - Fusion partitions ------------------------===//
+
+#include "xform/FusionPartition.h"
+
+#include "support/StringUtil.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+using namespace alf;
+using namespace alf::analysis;
+using namespace alf::ir;
+using namespace alf::xform;
+
+FusionPartition FusionPartition::trivial(const ASDG &Graph) {
+  FusionPartition P;
+  P.G = &Graph;
+  P.ClusterOf.resize(Graph.numNodes());
+  for (unsigned I = 0; I < Graph.numNodes(); ++I)
+    P.ClusterOf[I] = I;
+  return P;
+}
+
+std::vector<unsigned> FusionPartition::clusters() const {
+  // A cluster's id is the smallest member statement's id, so the set of
+  // active ids is exactly {i : ClusterOf[i] == i}.
+  std::vector<unsigned> Result;
+  for (unsigned I = 0; I < ClusterOf.size(); ++I)
+    if (ClusterOf[I] == I)
+      Result.push_back(I);
+  return Result;
+}
+
+std::vector<unsigned> FusionPartition::members(unsigned Cluster) const {
+  std::vector<unsigned> Result;
+  for (unsigned I = 0; I < ClusterOf.size(); ++I)
+    if (ClusterOf[I] == Cluster)
+      Result.push_back(I);
+  return Result;
+}
+
+unsigned FusionPartition::merge(const std::set<unsigned> &C) {
+  assert(!C.empty() && "cannot merge an empty cluster set");
+  unsigned Target = *C.begin(); // smallest id (set is ordered)
+  for (unsigned I = 0; I < ClusterOf.size(); ++I)
+    if (C.count(ClusterOf[I]))
+      ClusterOf[I] = Target;
+  return Target;
+}
+
+std::set<unsigned>
+FusionPartition::clustersReferencing(const ir::Symbol *Var) const {
+  std::set<unsigned> Result;
+  for (unsigned StmtId : G->statementsReferencing(Var))
+    Result.insert(ClusterOf[StmtId]);
+  return Result;
+}
+
+std::vector<std::pair<unsigned, unsigned>>
+FusionPartition::clusterEdges() const {
+  std::set<std::pair<unsigned, unsigned>> Distinct;
+  for (const DepEdge &E : G->edges()) {
+    unsigned SC = ClusterOf[E.Src], TC = ClusterOf[E.Tgt];
+    if (SC != TC)
+      Distinct.insert({SC, TC});
+  }
+  return std::vector<std::pair<unsigned, unsigned>>(Distinct.begin(),
+                                                    Distinct.end());
+}
+
+std::set<unsigned> FusionPartition::grow(const std::set<unsigned> &C) const {
+  // Forward-reachable from C and backward-reachable to C on the quotient
+  // graph; the intersection (minus C) is GROW. One application is closed:
+  // any cluster reachable from C + GROW and reaching C + GROW is already
+  // forward- and backward-reachable from/to C itself.
+  auto Edges = clusterEdges();
+  std::map<unsigned, std::vector<unsigned>> Succ, Pred;
+  for (auto [S, T] : Edges) {
+    Succ[S].push_back(T);
+    Pred[T].push_back(S);
+  }
+
+  auto Reach = [&C](const std::map<unsigned, std::vector<unsigned>> &Adj) {
+    std::set<unsigned> Seen(C.begin(), C.end());
+    std::deque<unsigned> Work(C.begin(), C.end());
+    while (!Work.empty()) {
+      unsigned Node = Work.front();
+      Work.pop_front();
+      auto It = Adj.find(Node);
+      if (It == Adj.end())
+        continue;
+      for (unsigned Next : It->second)
+        if (Seen.insert(Next).second)
+          Work.push_back(Next);
+    }
+    return Seen;
+  };
+
+  std::set<unsigned> Fwd = Reach(Succ);
+  std::set<unsigned> Bwd = Reach(Pred);
+  std::set<unsigned> Result;
+  for (unsigned Cl : Fwd)
+    if (Bwd.count(Cl) && !C.count(Cl))
+      Result.insert(Cl);
+  return Result;
+}
+
+std::optional<std::vector<Offset>>
+FusionPartition::internalUDVs(const std::set<unsigned> &C) const {
+  std::vector<Offset> UDVs;
+  for (const DepEdge &E : G->edges()) {
+    if (!C.count(ClusterOf[E.Src]) || !C.count(ClusterOf[E.Tgt]))
+      continue;
+    for (const DepLabel &L : E.Labels) {
+      if (!L.UDV)
+        return std::nullopt; // unrepresentable internal dependence
+      UDVs.push_back(*L.UDV);
+    }
+  }
+  return UDVs;
+}
+
+void FusionPartition::print(std::ostream &OS) const {
+  OS << "fusion partition: " << numClusters() << " clusters\n";
+  for (unsigned Cl : clusters()) {
+    OS << "  P" << Cl << " = {";
+    bool First = true;
+    for (unsigned StmtId : members(Cl)) {
+      if (!First)
+        OS << ", ";
+      OS << "S" << StmtId;
+      First = false;
+    }
+    OS << "}\n";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Legality predicates
+//===----------------------------------------------------------------------===//
+
+/// Returns true if the quotient graph of \p P, with the clusters of \p C
+/// regarded as one node, contains a cycle.
+static bool mergeWouldCreateCycle(const FusionPartition &P,
+                                  const std::set<unsigned> &C) {
+  unsigned Rep = *C.begin();
+  auto Quot = [&](unsigned Cl) { return C.count(Cl) ? Rep : Cl; };
+
+  std::map<unsigned, std::set<unsigned>> Succ;
+  std::set<unsigned> Nodes;
+  for (auto [S, T] : P.clusterEdges()) {
+    unsigned QS = Quot(S), QT = Quot(T);
+    Nodes.insert(QS);
+    Nodes.insert(QT);
+    if (QS != QT)
+      Succ[QS].insert(QT);
+  }
+
+  // Iterative three-color DFS.
+  std::map<unsigned, int> Color; // 0 white, 1 gray, 2 black
+  for (unsigned Start : Nodes) {
+    if (Color[Start] != 0)
+      continue;
+    std::vector<std::pair<unsigned, bool>> Stack{{Start, false}};
+    while (!Stack.empty()) {
+      auto [Node, Done] = Stack.back();
+      Stack.pop_back();
+      if (Done) {
+        Color[Node] = 2;
+        continue;
+      }
+      if (Color[Node] == 2)
+        continue;
+      if (Color[Node] == 1)
+        continue;
+      Color[Node] = 1;
+      Stack.push_back({Node, true});
+      for (unsigned Next : Succ[Node]) {
+        if (Color[Next] == 1)
+          return true; // back edge
+        if (Color[Next] == 0)
+          Stack.push_back({Next, false});
+      }
+    }
+  }
+  return false;
+}
+
+/// The region a statement iterates over if it may join a multi-statement
+/// fusible cluster (normalized statements and reductions), else null.
+static const Region *fusableRegion(const Stmt *S) {
+  if (const auto *NS = dyn_cast<NormalizedStmt>(S))
+    return NS->getRegion();
+  if (const auto *RS = dyn_cast<ReduceStmt>(S))
+    return RS->getRegion();
+  return nullptr;
+}
+
+bool xform::isLegalFusion(const FusionPartition &P, const std::set<unsigned> &C,
+                          LoopStructureVector *OutLSV) {
+  return isLegalFusionWithFlowRule(
+      P, C, [](const Offset &U) { return U.isZero(); }, OutLSV);
+}
+
+bool xform::isLegalFusionWithFlowRule(
+    const FusionPartition &P, const std::set<unsigned> &C,
+    const std::function<bool(const Offset &)> &FlowOk,
+    LoopStructureVector *OutLSV) {
+  assert(!C.empty() && "legality query over an empty cluster set");
+  const ASDG &G = P.graph();
+  const Program &Prog = G.getProgram();
+
+  // Gather the statements of the hypothetical merged cluster.
+  std::vector<unsigned> Stmts;
+  for (unsigned Cl : C)
+    for (unsigned StmtId : P.members(Cl))
+      Stmts.push_back(StmtId);
+
+  // Condition (i): all statements operate under the same region. Clusters
+  // of more than one statement must consist of normalized statements and
+  // reductions only (communication primitives and opaque statements never
+  // fuse).
+  if (Stmts.size() > 1) {
+    const Region *CommonRegion = nullptr;
+    for (unsigned StmtId : Stmts) {
+      const Region *R = fusableRegion(Prog.getStmt(StmtId));
+      if (!R)
+        return false;
+      if (!CommonRegion)
+        CommonRegion = R;
+      else if (*CommonRegion != *R)
+        return false;
+    }
+  }
+
+  // Condition (ii): intra-cluster flow dependences must satisfy the flow
+  // rule (null UDVs in the standard Definition 5).
+  std::set<unsigned> InCluster(Stmts.begin(), Stmts.end());
+  for (const DepEdge &E : G.edges()) {
+    if (!InCluster.count(E.Src) || !InCluster.count(E.Tgt))
+      continue;
+    for (const DepLabel &L : E.Labels)
+      if (L.Type == DepType::Flow && (!L.UDV || !FlowOk(*L.UDV)))
+        return false;
+  }
+
+  // Communication placement: a fusible cluster may not span a
+  // communication statement in program order. Scalarization preserves the
+  // placement of exchanges (their pipelining overlap windows were chosen
+  // by the communication optimizer), so fusing statements from opposite
+  // sides of an exchange would move computation out of its overlap
+  // window — the interaction the paper's section 5.5 policy forbids.
+  // Programs without communication statements are unaffected.
+  if (Stmts.size() > 1) {
+    unsigned Min = Stmts.front(), Max = Stmts.front();
+    for (unsigned StmtId : Stmts) {
+      Min = std::min(Min, StmtId);
+      Max = std::max(Max, StmtId);
+    }
+    for (unsigned Pos = Min + 1; Pos < Max; ++Pos)
+      if (isa<CommStmt>(Prog.getStmt(Pos)))
+        return false;
+  }
+
+  // Condition (iii): no inter-cluster cycles after the merge.
+  if (mergeWouldCreateCycle(P, C))
+    return false;
+
+  // Condition (iv): a loop structure vector exists that preserves all
+  // intra-cluster dependences.
+  auto UDVs = P.internalUDVs(C);
+  if (!UDVs)
+    return false;
+  unsigned Rank = 0;
+  for (unsigned StmtId : Stmts)
+    if (const Region *R = fusableRegion(Prog.getStmt(StmtId))) {
+      Rank = R->rank();
+      break;
+    }
+  if (Rank == 0) {
+    // Single non-normalized statement: vacuously legal, no loop nest.
+    if (OutLSV)
+      *OutLSV = LoopStructureVector();
+    return true;
+  }
+  auto LSV = findLoopStructure(*UDVs, Rank);
+  if (!LSV)
+    return false;
+  if (OutLSV)
+    *OutLSV = *LSV;
+  return true;
+}
+
+bool xform::isContractible(const FusionPartition &P,
+                           const std::set<unsigned> &C,
+                           const ir::ArraySymbol *Var) {
+  return isContractibleWithRule(P, C, Var,
+                                [](const Offset &U) { return U.isZero(); });
+}
+
+bool xform::isContractibleWithRule(
+    const FusionPartition &P, const std::set<unsigned> &C,
+    const ir::ArraySymbol *Var,
+    const std::function<bool(const Offset &)> &DistOk) {
+  const ASDG &G = P.graph();
+  const Program &Prog = G.getProgram();
+
+  // Side conditions: never contract arrays whose value escapes the
+  // fragment or flows in from outside.
+  if (Var->isLiveOut())
+    return false;
+
+  std::vector<unsigned> Referencing = G.statementsReferencing(Var);
+  if (Referencing.empty())
+    return false;
+
+  bool SeenWrite = false;
+  for (unsigned StmtId : Referencing) {
+    const Stmt *S = Prog.getStmt(StmtId);
+    if (const auto *NS = dyn_cast<NormalizedStmt>(S)) {
+      if (!SeenWrite && NS->readsArray(Var))
+        return false; // upward-exposed read: the live-in value is needed
+      if (NS->getLHS() == Var)
+        SeenWrite = true;
+      continue;
+    }
+    if (isa<ReduceStmt>(S)) {
+      // Reductions only read arrays, at constant offsets.
+      if (!SeenWrite)
+        return false; // upward-exposed read
+      continue;
+    }
+    // Arrays touched by communication or opaque statements are not
+    // contraction candidates: their accesses have no constant offsets.
+    return false;
+  }
+  if (!SeenWrite)
+    return false; // read-only array; nothing to contract
+
+  // Definition 6 (i): the endpoints of every dependence due to Var lie in
+  // one fusible cluster (the merged one), and (ii) every such UDV is null.
+  for (const DepEdge &E : G.edges()) {
+    for (const DepLabel &L : E.Labels) {
+      if (L.Var != Var)
+        continue;
+      unsigned SC = P.clusterOf(E.Src), TC = P.clusterOf(E.Tgt);
+      bool SameCluster = (SC == TC) || (C.count(SC) && C.count(TC));
+      if (!SameCluster)
+        return false;
+      if (!L.UDV || !DistOk(*L.UDV))
+        return false;
+    }
+  }
+  return true;
+}
+
+bool xform::isContractible(const FusionPartition &P,
+                           const ir::ArraySymbol *Var) {
+  // No hypothetical merge: every cluster stands alone. Passing a set that
+  // cannot match two distinct clusters reduces to the same-cluster test.
+  return isContractible(P, std::set<unsigned>{}, Var);
+}
+
+bool xform::isValidPartition(const FusionPartition &P) {
+  for (unsigned Cl : P.clusters())
+    if (!isLegalFusion(P, std::set<unsigned>{Cl}))
+      return false;
+  // Whole-partition acyclicity: checked via a merge of a singleton (which
+  // leaves the quotient graph unchanged).
+  auto Clusters = P.clusters();
+  if (Clusters.empty())
+    return true;
+  return !mergeWouldCreateCycle(P, std::set<unsigned>{Clusters.front()});
+}

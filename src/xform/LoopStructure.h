@@ -1,0 +1,85 @@
+//===- xform/LoopStructure.h - Loop structure vectors ----------*- C++ -*-===//
+//
+// Part of the ALF project: array-level fusion and contraction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A *loop structure vector* (paper Definition 4) describes the dimension
+/// and direction of each loop of an n-deep scalarized loop nest: it is a
+/// permutation of {±1, ±2, ..., ±n} where loop i (1 = outermost) iterates
+/// over array dimension |p_i| in the direction of p_i's sign. This file
+/// also implements FIND-LOOP-STRUCTURE (paper Figure 4), which picks a
+/// legal vector for a set of unconstrained distance vectors, preferring to
+/// match inner loops with higher array dimensions for spatial locality
+/// under row-major allocation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALF_XFORM_LOOPSTRUCTURE_H
+#define ALF_XFORM_LOOPSTRUCTURE_H
+
+#include "ir/Offset.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace alf {
+namespace xform {
+
+/// A signed permutation describing an n-deep loop nest (Definition 4).
+class LoopStructureVector {
+  std::vector<int> Elems; // Elems[i] = +-(dim+1), i = 0 is outermost
+
+public:
+  LoopStructureVector() = default;
+  explicit LoopStructureVector(std::vector<int> Elems)
+      : Elems(std::move(Elems)) {}
+
+  /// The canonical nest for rank \p Rank: (1, 2, ..., n), i.e. outermost
+  /// loop over dimension 1, all increasing — the row-major locality
+  /// preference with no constraints.
+  static LoopStructureVector identity(unsigned Rank);
+
+  unsigned rank() const { return static_cast<unsigned>(Elems.size()); }
+
+  /// Raw signed element for loop \p Loop (0 = outermost).
+  int element(unsigned Loop) const { return Elems[Loop]; }
+
+  /// Zero-based array dimension iterated by loop \p Loop.
+  unsigned dimOf(unsigned Loop) const {
+    int E = Elems[Loop];
+    return static_cast<unsigned>((E < 0 ? -E : E) - 1);
+  }
+
+  /// +1 when loop \p Loop iterates in increasing order, -1 decreasing.
+  int dirOf(unsigned Loop) const { return Elems[Loop] < 0 ? -1 : 1; }
+
+  bool operator==(const LoopStructureVector &RHS) const {
+    return Elems == RHS.Elems;
+  }
+
+  /// Renders as "(-2,1)".
+  std::string str() const;
+};
+
+/// Constrains an unconstrained distance vector with a loop structure
+/// vector (Definition 4's construction: d_i = sign(p_i) * u_{|p_i|}).
+ir::Offset constrain(const ir::Offset &U, const LoopStructureVector &P);
+
+/// True if \p D is lexicographically nonnegative: the null vector, or its
+/// leftmost nonzero element is positive (Definition 1 discussion).
+bool isLexicographicallyNonnegative(const ir::Offset &D);
+
+/// FIND-LOOP-STRUCTURE (paper Figure 4). Given the unconstrained distance
+/// vectors of a cluster's intra-cluster dependences (all of rank \p Rank),
+/// returns a loop structure vector that preserves every dependence, or
+/// std::nullopt when none exists. Runs in O(n^2 e).
+std::optional<LoopStructureVector>
+findLoopStructure(const std::vector<ir::Offset> &UDVs, unsigned Rank);
+
+} // namespace xform
+} // namespace alf
+
+#endif // ALF_XFORM_LOOPSTRUCTURE_H

@@ -1,0 +1,52 @@
+//===- xform/Report.h - Contraction decision reporting ---------*- C++ -*-===//
+//
+// Part of the ALF project: array-level fusion and contraction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Explains the optimizer's contraction decisions in terms of the
+/// paper's conditions: for every array, either "contracted" or the first
+/// Definition 6 / side condition that failed, naming the offending
+/// dependence where there is one. Surfaced through `zplc --explain` so a
+/// user can see why a temporary survived.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALF_XFORM_REPORT_H
+#define ALF_XFORM_REPORT_H
+
+#include "xform/Strategy.h"
+
+#include <string>
+
+namespace alf {
+namespace xform {
+
+/// Why an array was not contracted (or that it was).
+enum class ContractionOutcome {
+  Contracted,
+  LiveOut,          ///< value observable after the fragment
+  ReadOnly,         ///< never written; nothing to contract
+  UpwardExposed,    ///< live-in value read before any write
+  UnfusableRef,     ///< referenced by a communication/opaque statement
+  CarriedDistance,  ///< some dependence distance is not the null vector
+  SplitClusters,    ///< references end up in more than one loop nest
+};
+
+/// Printable name of an outcome.
+const char *getOutcomeName(ContractionOutcome O);
+
+/// Classifies \p Var's outcome under the final partition of \p SR, with a
+/// one-line human-readable explanation in \p Detail (optional).
+ContractionOutcome classifyContraction(const StrategyResult &SR,
+                                       const ir::ArraySymbol *Var,
+                                       std::string *Detail = nullptr);
+
+/// The full report: one line per array of the program, in symbol order.
+std::string contractionReport(const StrategyResult &SR);
+
+} // namespace xform
+} // namespace alf
+
+#endif // ALF_XFORM_REPORT_H

@@ -1,0 +1,141 @@
+//===- xform/StatementMerge.cpp - Array operation synthesis ------------------===//
+
+#include "xform/StatementMerge.h"
+
+#include "ir/Program.h"
+
+#include <set>
+
+using namespace alf;
+using namespace alf::ir;
+using namespace alf::xform;
+
+namespace {
+
+/// Array symbols read by a statement's expression(s).
+std::set<const ArraySymbol *> arraysReadBy(const Stmt *S) {
+  std::set<const ArraySymbol *> Reads;
+  auto Collect = [&Reads](const Expr *E) {
+    for (const ArrayRefExpr *Ref : collectArrayRefs(E))
+      Reads.insert(Ref->getSymbol());
+  };
+  if (const auto *NS = dyn_cast<NormalizedStmt>(S))
+    Collect(NS->getRHS());
+  else if (const auto *RS = dyn_cast<ReduceStmt>(S))
+    Collect(RS->getBody());
+  else if (const auto *OS = dyn_cast<OpaqueStmt>(S))
+    for (const ArraySymbol *A : OS->arrayReads())
+      Reads.insert(A);
+  else if (const auto *CS = dyn_cast<CommStmt>(S))
+    Reads.insert(CS->getArray());
+  return Reads;
+}
+
+/// Arrays written by a statement.
+std::set<const ArraySymbol *> arraysWrittenBy(const Stmt *S) {
+  std::set<const ArraySymbol *> Writes;
+  if (const auto *NS = dyn_cast<NormalizedStmt>(S))
+    Writes.insert(NS->getLHS());
+  else if (const auto *OS = dyn_cast<OpaqueStmt>(S))
+    for (const ArraySymbol *A : OS->arrayWrites())
+      Writes.insert(A);
+  else if (const auto *CS = dyn_cast<CommStmt>(S))
+    Writes.insert(CS->getArray()); // halo refresh
+  return Writes;
+}
+
+/// True if \p E contains a null-offset reference to \p T.
+bool readsAligned(const Expr *E, const ArraySymbol *T) {
+  for (const ArrayRefExpr *Ref : collectArrayRefs(E))
+    if (Ref->getSymbol() == T && Ref->getOffset().isZero())
+      return true;
+  return false;
+}
+
+} // namespace
+
+unsigned xform::mergeStatements(Program &P) {
+  unsigned Substituted = 0;
+
+  for (unsigned DefPos = 0; DefPos < P.numStmts(); ++DefPos) {
+    const auto *Def = dyn_cast<NormalizedStmt>(P.getStmt(DefPos));
+    if (!Def || !Def->getLHSOffset().isZero())
+      continue;
+    const ArraySymbol *T = Def->getLHS();
+    std::set<const ArraySymbol *> Operands = arraysReadBy(Def);
+    if (Operands.count(T))
+      continue; // self-referential (pre-normalization shape)
+
+    // Walk forward while the definition's operands (and T itself) are
+    // unchanged; substitute aligned uses as we go.
+    for (unsigned UsePos = DefPos + 1; UsePos < P.numStmts(); ++UsePos) {
+      Stmt *Use = P.getStmt(UsePos);
+
+      // Substitute before considering this statement's writes.
+      auto Rewrite = [&](const Expr *Root) {
+        return cloneExprRewriting(
+            Root, [&](const ArrayRefExpr &Ref) -> ExprPtr {
+              if (Ref.getSymbol() == T && Ref.getOffset().isZero()) {
+                ++Substituted;
+                return Def->getRHS()->clone();
+              }
+              return nullptr;
+            });
+      };
+      if (auto *NS = dyn_cast<NormalizedStmt>(Use)) {
+        if (NS->getRegion() == Def->getRegion() &&
+            readsAligned(NS->getRHS(), T))
+          NS->setRHS(Rewrite(NS->getRHS()));
+      } else if (auto *RS = dyn_cast<ReduceStmt>(Use)) {
+        if (RS->getRegion() == Def->getRegion() &&
+            readsAligned(RS->getBody(), T))
+          RS->setBody(Rewrite(RS->getBody()));
+      }
+
+      // Interference: a write to T ends this definition's live range; a
+      // write to an operand invalidates the expression.
+      std::set<const ArraySymbol *> Writes = arraysWrittenBy(Use);
+      if (Writes.count(T))
+        break;
+      bool OperandClobbered = false;
+      for (const ArraySymbol *Op : Operands)
+        OperandClobbered |= Writes.count(Op) != 0;
+      if (OperandClobbered)
+        break;
+    }
+  }
+  return Substituted;
+}
+
+unsigned xform::eliminateDeadStatements(Program &P) {
+  unsigned Removed = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned Pos = 0; Pos < P.numStmts(); ++Pos) {
+      const auto *NS = dyn_cast<NormalizedStmt>(P.getStmt(Pos));
+      if (!NS || NS->getLHS()->isLiveOut())
+        continue;
+      const ArraySymbol *T = NS->getLHS();
+
+      // Dead iff no statement after Pos reads T before the next write.
+      bool Read = false;
+      for (unsigned Later = Pos + 1; Later < P.numStmts(); ++Later) {
+        const Stmt *S = P.getStmt(Later);
+        if (arraysReadBy(S).count(T)) {
+          Read = true;
+          break;
+        }
+        if (arraysWrittenBy(S).count(T))
+          break; // overwritten before any read
+      }
+      if (Read)
+        continue;
+      P.removeStmt(Pos);
+      ++Removed;
+      Changed = true;
+      --Pos;
+    }
+  }
+  return Removed;
+}

@@ -1,0 +1,57 @@
+//===- xform/StatementMerge.h - Array operation synthesis ------*- C++ -*-===//
+//
+// Part of the ALF project: array-level fusion and contraction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The related-work alternative to contraction (paper section 6): Hwang,
+/// Lee and Ju's *statement merge* "substitute[s] an intermediate array's
+/// use by its definition. This statement merge optimization enables more
+/// operation synthesis, but it is not always possible, and it
+/// potentially introduces redundant computation and increases overall
+/// program execution time." Implemented here so the trade-off can be
+/// measured against the paper's fusion-for-contraction (see
+/// bench/related_statement_merge).
+///
+/// `mergeStatements` forward-substitutes aligned uses of temporaries by
+/// their defining expressions; `eliminateDeadStatements` then removes
+/// definitions left without readers. Both are semantics-preserving (and
+/// tested against the interpreter oracle).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALF_XFORM_STATEMENTMERGE_H
+#define ALF_XFORM_STATEMENTMERGE_H
+
+namespace alf {
+namespace ir {
+class Program;
+} // namespace ir
+
+namespace xform {
+
+/// Forward-substitutes temporaries into their consumers. A use of T in a
+/// later statement is replaced by T's defining right-hand side when:
+/// (a) T's definition is a normalized statement over the same region,
+/// (b) the use reads T at the null offset (shifted uses would change
+///     which boundary values are observed),
+/// (c) no operand of the definition (nor T itself) is written between
+///     the definition and the use.
+/// Returns the number of references substituted. Run
+/// `eliminateDeadStatements` afterwards to drop fully-substituted
+/// definitions, and re-run `ir::normalizeProgram`: substitution into a
+/// statement whose target is one of the definition's operands recreates
+/// a read/write overlap (F90's full-RHS-first semantics), which the
+/// normalizer restores to normal form through a compiler temporary.
+unsigned mergeStatements(ir::Program &P);
+
+/// Removes normalized statements whose target is a non-live-out array
+/// that no later statement reads (iterating to a fixed point). Returns
+/// the number of statements removed.
+unsigned eliminateDeadStatements(ir::Program &P);
+
+} // namespace xform
+} // namespace alf
+
+#endif // ALF_XFORM_STATEMENTMERGE_H

@@ -1,0 +1,108 @@
+//===- xform/Strategy.cpp - Named optimization strategies -------------------===//
+
+#include "xform/Strategy.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace alf;
+using namespace alf::analysis;
+using namespace alf::ir;
+using namespace alf::xform;
+
+const std::vector<Strategy> &xform::allStrategies() {
+  static const std::vector<Strategy> All = {
+      Strategy::Baseline, Strategy::F1, Strategy::C1,   Strategy::F2,
+      Strategy::F3,       Strategy::C2, Strategy::C2F3, Strategy::C2F4};
+  return All;
+}
+
+const char *xform::getStrategyName(Strategy S) {
+  switch (S) {
+  case Strategy::Baseline:
+    return "baseline";
+  case Strategy::F1:
+    return "f1";
+  case Strategy::C1:
+    return "c1";
+  case Strategy::F2:
+    return "f2";
+  case Strategy::F3:
+    return "f3";
+  case Strategy::C2:
+    return "c2";
+  case Strategy::C2F3:
+    return "c2+f3";
+  case Strategy::C2F4:
+    return "c2+f4";
+  }
+  alf_unreachable("unhandled strategy");
+}
+
+StrategyResult xform::applyStrategy(const ASDG &G, Strategy S) {
+  FusionPartition P = FusionPartition::trivial(G);
+
+  // Which arrays drive fusion-for-contraction, and which are actually
+  // contracted afterwards, per the section 5.4 definitions.
+  ArrayFilter NoArrays = [](const ArraySymbol *) { return false; };
+  ArrayFilter FuseFor = NoArrays;
+  ArrayFilter ContractSet = NoArrays;
+  bool Locality = false;
+  bool Pairwise = false;
+
+  switch (S) {
+  case Strategy::Baseline:
+    break;
+  case Strategy::F1:
+    FuseFor = compilerTempsOnly();
+    break;
+  case Strategy::C1:
+    FuseFor = compilerTempsOnly();
+    ContractSet = compilerTempsOnly();
+    break;
+  case Strategy::F2:
+    FuseFor = anyArray();
+    ContractSet = compilerTempsOnly();
+    break;
+  case Strategy::F3:
+    FuseFor = compilerTempsOnly();
+    ContractSet = compilerTempsOnly();
+    Locality = true;
+    break;
+  case Strategy::C2:
+    FuseFor = anyArray();
+    ContractSet = anyArray();
+    break;
+  case Strategy::C2F3:
+    FuseFor = anyArray();
+    ContractSet = anyArray();
+    Locality = true;
+    break;
+  case Strategy::C2F4:
+    FuseFor = anyArray();
+    ContractSet = anyArray();
+    Locality = true;
+    Pairwise = true;
+    break;
+  }
+
+  fuseForContraction(P, FuseFor);
+  if (Locality)
+    fuseForLocality(P);
+  if (Pairwise)
+    fuseAllPairwise(P);
+
+  StrategyResult Result{std::move(P), {}};
+  Result.Contracted = contractibleArrays(Result.Partition, ContractSet);
+  return Result;
+}
+
+StrategyResult xform::applyStrategyWithPartialContraction(
+    const ASDG &G, Strategy S, const SequentialDims &Seq,
+    std::vector<PartialPlan> &OutPlans) {
+  StrategyResult SR = applyStrategy(G, S);
+  fuseForPartialContraction(SR.Partition, Seq);
+  // Relaxed merges may have enabled additional full contractions.
+  SR.Contracted = contractibleArrays(SR.Partition, anyArray());
+  OutPlans = planPartialContraction(SR.Partition, Seq, SR.Contracted);
+  return SR;
+}

@@ -1,0 +1,75 @@
+//===- xform/Strategy.h - Named optimization strategies --------*- C++ -*-===//
+//
+// Part of the ALF project: array-level fusion and contraction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's eight incremental optimization strategies (section 5.4):
+///
+///   baseline : no fusion or contraction
+///   f1 : fusion to enable contraction of compiler arrays; no contraction
+///   c1 : f1's fusion, and the compiler arrays are contracted
+///   f2 : c1 plus fusion to enable contraction of user arrays, but user
+///        arrays are not contracted
+///   f3 : c1 plus fusion for locality
+///   c2 : c1 plus user arrays are fused for and contracted
+///   c2+f3 : c2 plus fusion for locality
+///   c2+f4 : c2+f3 plus all legal fusion (greedy pairwise)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALF_XFORM_STRATEGY_H
+#define ALF_XFORM_STRATEGY_H
+
+#include "xform/Fusion.h"
+#include "xform/PartialContraction.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace alf {
+namespace xform {
+
+/// The paper's named strategies, in the order of Figures 9-11's legends.
+enum class Strategy { Baseline, F1, C1, F2, F3, C2, C2F3, C2F4 };
+
+/// All strategies in presentation order.
+const std::vector<Strategy> &allStrategies();
+
+/// Printable name ("baseline", "f1", ..., "c2+f4").
+const char *getStrategyName(Strategy S);
+
+/// The outcome of applying a strategy to an ASDG: the fusion partition to
+/// scalarize with, and the set of arrays to contract during scalarization.
+struct StrategyResult {
+  FusionPartition Partition;
+  std::vector<const ir::ArraySymbol *> Contracted;
+
+  bool isContracted(const ir::ArraySymbol *A) const {
+    for (const ir::ArraySymbol *C : Contracted)
+      if (C == A)
+        return true;
+    return false;
+  }
+};
+
+/// Applies strategy \p S to \p G and returns the partition plus the
+/// contraction set.
+StrategyResult applyStrategy(const analysis::ASDG &G, Strategy S);
+
+/// Applies \p S, then the lower-dimensional (partial) contraction
+/// extension with \p Seq's dimensions treated as sequential: additional
+/// relaxed fusion merges, full contraction recomputed on the final
+/// partition, and rolling-buffer plans for the remaining candidates
+/// returned through \p OutPlans.
+StrategyResult
+applyStrategyWithPartialContraction(const analysis::ASDG &G, Strategy S,
+                                    const SequentialDims &Seq,
+                                    std::vector<PartialPlan> &OutPlans);
+
+} // namespace xform
+} // namespace alf
+
+#endif // ALF_XFORM_STRATEGY_H

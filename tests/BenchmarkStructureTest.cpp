@@ -1,0 +1,105 @@
+//===- tests/BenchmarkStructureTest.cpp - Benchmark construction locks -------===//
+//
+// Locks the structural properties docs/BENCHMARKS.md documents: how many
+// self-updates each benchmark performs (= compiler temporaries), which
+// arrays persist, and the dependence shapes the experiments rely on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchprogs/Benchmarks.h"
+
+#include "analysis/ASDG.h"
+#include "ir/Normalize.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace alf;
+using namespace alf::analysis;
+using namespace alf::benchprogs;
+using namespace alf::ir;
+
+namespace {
+
+struct Shape {
+  unsigned Stmts = 0;
+  unsigned Reduces = 0;
+  unsigned SelfUpdates = 0; ///< statements normalization must split
+  unsigned LiveOutArrays = 0;
+};
+
+Shape shapeOf(const BenchmarkInfo &B) {
+  auto P = B.Build(8);
+  Shape S;
+  S.Stmts = P->numStmts();
+  for (const Stmt *St : P->stmts()) {
+    if (isa<ReduceStmt>(St))
+      ++S.Reduces;
+    if (const auto *NS = dyn_cast<NormalizedStmt>(St))
+      if (NS->readsArray(NS->getLHS()))
+        ++S.SelfUpdates;
+  }
+  for (const ArraySymbol *A : P->arrays())
+    if (A->isLiveOut())
+      ++S.LiveOutArrays;
+  return S;
+}
+
+TEST(BenchmarkStructureTest, SelfUpdateCountsMatchCompilerTemporaries) {
+  // Figure 7's compiler-array column comes from exactly these splits.
+  for (const BenchmarkInfo &B : allBenchmarks()) {
+    Shape S = shapeOf(B);
+    EXPECT_EQ(S.SelfUpdates, B.PaperCompilerBefore) << B.Name;
+    auto P = B.Build(8);
+    EXPECT_EQ(normalizeProgram(*P), B.PaperCompilerBefore) << B.Name;
+    EXPECT_TRUE(isWellFormed(*P)) << B.Name;
+  }
+}
+
+TEST(BenchmarkStructureTest, EPIsAllTemporariesAndReductions) {
+  Shape S = shapeOf(allBenchmarks()[0]);
+  EXPECT_EQ(S.Reduces, 3u);
+  EXPECT_EQ(S.LiveOutArrays, 0u); // everything dies into scalars
+  EXPECT_EQ(S.SelfUpdates, 0u);
+}
+
+TEST(BenchmarkStructureTest, SPHasEightPhases) {
+  // 8 phases x (14-ish chain + sweep defs + consumers + field update)
+  // plus the closing 18 self-updates.
+  Shape S = shapeOf(allBenchmarks()[2]);
+  EXPECT_EQ(S.SelfUpdates, 18u);
+  EXPECT_EQ(S.LiveOutArrays, 5u);
+  EXPECT_GT(S.Stmts, 200u);
+}
+
+TEST(BenchmarkStructureTest, PersistentCountsAnchorTheAfterCensus) {
+  struct Row {
+    const char *Name;
+    unsigned LiveOut;
+  };
+  const Row Rows[] = {{"EP", 0},     {"Frac", 1},  {"SP", 5},
+                      {"Tomcatv", 7}, {"Simple", 20}, {"Fibro", 27}};
+  for (const Row &R : Rows) {
+    for (const BenchmarkInfo &B : allBenchmarks()) {
+      if (B.Name != R.Name)
+        continue;
+      EXPECT_EQ(shapeOf(B).LiveOutArrays, R.LiveOut) << R.Name;
+    }
+  }
+}
+
+TEST(BenchmarkStructureTest, ProblemSizeParameterScalesRegions) {
+  for (const BenchmarkInfo &B : allBenchmarks()) {
+    auto Small = B.Build(6);
+    auto Large = B.Build(12);
+    EXPECT_EQ(Small->numStmts(), Large->numStmts()) << B.Name;
+    // The region grows, the structure does not.
+    const auto *NS1 = dyn_cast<NormalizedStmt>(Small->getStmt(0));
+    const auto *NS2 = dyn_cast<NormalizedStmt>(Large->getStmt(0));
+    if (NS1 && NS2) {
+      EXPECT_LT(NS1->getRegion()->size(), NS2->getRegion()->size());
+    }
+  }
+}
+
+} // namespace

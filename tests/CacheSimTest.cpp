@@ -1,0 +1,133 @@
+//===- tests/CacheSimTest.cpp - Cache simulator tests -----------------------===//
+
+#include "machine/CacheSim.h"
+#include "machine/Machine.h"
+
+#include <gtest/gtest.h>
+
+using namespace alf::machine;
+
+namespace {
+
+TEST(CacheSimTest, ColdMissThenHit) {
+  CacheSim C(CacheConfig{1024, 32, 1});
+  EXPECT_FALSE(C.access(0));
+  EXPECT_TRUE(C.access(8));  // same line
+  EXPECT_TRUE(C.access(0));
+  EXPECT_FALSE(C.access(32)); // next line
+  EXPECT_EQ(C.accesses(), 4u);
+  EXPECT_EQ(C.misses(), 2u);
+  EXPECT_EQ(C.hits(), 2u);
+}
+
+TEST(CacheSimTest, DirectMappedConflict) {
+  // 1024-byte direct-mapped, 32-byte lines: 32 sets. Addresses 0 and
+  // 1024 map to the same set and evict each other.
+  CacheSim C(CacheConfig{1024, 32, 1});
+  C.access(0);
+  C.access(1024);
+  EXPECT_FALSE(C.access(0));
+  EXPECT_FALSE(C.access(1024));
+  EXPECT_EQ(C.misses(), 4u);
+}
+
+TEST(CacheSimTest, TwoWayAvoidsPairConflict) {
+  CacheSim C(CacheConfig{1024, 32, 2});
+  C.access(0);
+  C.access(1024); // same set, second way
+  EXPECT_TRUE(C.access(0));
+  EXPECT_TRUE(C.access(1024));
+}
+
+TEST(CacheSimTest, LRUReplacement) {
+  CacheSim C(CacheConfig{64, 32, 2}); // one set, two ways
+  C.access(0);    // miss: line 0
+  C.access(32);   // miss: line 1
+  C.access(0);    // hit: line 0 now MRU
+  C.access(64);   // miss: evicts line 1 (LRU)
+  EXPECT_TRUE(C.access(0));
+  EXPECT_FALSE(C.access(32));
+}
+
+TEST(CacheSimTest, CapacityEviction) {
+  // Streaming through 2x the cache size misses every line on a re-walk.
+  CacheSim C(CacheConfig{1024, 32, 4});
+  for (uint64_t A = 0; A < 2048; A += 32)
+    C.access(A);
+  uint64_t MissesBefore = C.misses();
+  for (uint64_t A = 0; A < 2048; A += 32)
+    C.access(A);
+  EXPECT_EQ(C.misses() - MissesBefore, 64u); // all miss again (LRU)
+}
+
+TEST(CacheSimTest, ResetClearsState) {
+  CacheSim C(CacheConfig{1024, 32, 1});
+  C.access(0);
+  C.reset();
+  EXPECT_EQ(C.accesses(), 0u);
+  EXPECT_FALSE(C.access(0)); // cold again
+}
+
+TEST(CacheSimTest, MissRatio) {
+  CacheSim C(CacheConfig{1024, 32, 1});
+  EXPECT_DOUBLE_EQ(C.missRatio(), 0.0);
+  C.access(0);
+  C.access(0);
+  EXPECT_DOUBLE_EQ(C.missRatio(), 0.5);
+}
+
+TEST(MemoryHierarchyTest, L2CatchesL1Misses) {
+  MemoryHierarchy H(CacheConfig{64, 32, 1}, CacheConfig{1024, 32, 4});
+  EXPECT_EQ(H.access(0), MemoryHierarchy::Level::Memory);
+  EXPECT_EQ(H.access(0), MemoryHierarchy::Level::L1);
+  // Evict from L1 (same set), keep in L2.
+  H.access(64);
+  H.access(128);
+  EXPECT_EQ(H.access(0), MemoryHierarchy::Level::L2);
+}
+
+TEST(MemoryHierarchyTest, WithoutL2MissesGoToMemory) {
+  MemoryHierarchy H(CacheConfig{64, 32, 1});
+  EXPECT_FALSE(H.hasL2());
+  EXPECT_EQ(H.access(0), MemoryHierarchy::Level::Memory);
+  H.access(64);
+  EXPECT_EQ(H.access(0), MemoryHierarchy::Level::Memory);
+}
+
+TEST(MachineDescTest, ThreeMachines) {
+  auto Machines = allMachines();
+  ASSERT_EQ(Machines.size(), 3u);
+  EXPECT_EQ(Machines[0].Name, "Cray T3E");
+  EXPECT_TRUE(Machines[0].L2.has_value());   // 96 KB L2
+  EXPECT_EQ(Machines[1].Name, "IBM SP-2");
+  EXPECT_FALSE(Machines[1].L2.has_value());
+  EXPECT_EQ(Machines[1].L1.SizeBytes, 128u * 1024u);
+  EXPECT_EQ(Machines[2].Name, "Intel Paragon");
+  EXPECT_EQ(Machines[2].L1.SizeBytes, 8u * 1024u);
+}
+
+TEST(MachineDescTest, MessageCost) {
+  MachineDesc M = crayT3E();
+  EXPECT_GT(M.messageCost(1024), M.MsgLatency);
+  EXPECT_DOUBLE_EQ(M.messageCost(0), M.MsgLatency);
+}
+
+TEST(ProcGridTest, SquareFactorizations) {
+  EXPECT_EQ(ProcGrid::make(1, 2).Extents, (std::vector<unsigned>{1, 1}));
+  EXPECT_EQ(ProcGrid::make(4, 2).Extents, (std::vector<unsigned>{2, 2}));
+  EXPECT_EQ(ProcGrid::make(16, 2).Extents, (std::vector<unsigned>{4, 4}));
+  EXPECT_EQ(ProcGrid::make(64, 2).Extents, (std::vector<unsigned>{8, 8}));
+  EXPECT_EQ(ProcGrid::make(8, 2).Extents, (std::vector<unsigned>{2, 4}));
+  EXPECT_EQ(ProcGrid::make(4, 1).Extents, (std::vector<unsigned>{4}));
+}
+
+TEST(ProcGridTest, HasNeighbor) {
+  ProcGrid G = ProcGrid::make(4, 2);
+  EXPECT_TRUE(G.hasNeighbor(0));
+  EXPECT_TRUE(G.hasNeighbor(1));
+  ProcGrid Single = ProcGrid::make(1, 2);
+  EXPECT_FALSE(Single.hasNeighbor(0));
+  EXPECT_FALSE(Single.hasNeighbor(1));
+}
+
+} // namespace

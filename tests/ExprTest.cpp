@@ -1,0 +1,107 @@
+//===- tests/ExprTest.cpp - Expression tree unit tests ---------------------===//
+
+#include "ir/Expr.h"
+#include "ir/Program.h"
+
+#include <gtest/gtest.h>
+
+using namespace alf;
+using namespace alf::ir;
+
+namespace {
+
+class ExprTest : public ::testing::Test {
+protected:
+  Program P{"expr-test"};
+  ArraySymbol *A = P.makeArray("A", 2);
+  ArraySymbol *B = P.makeArray("B", 2);
+  ScalarSymbol *S = P.makeScalar("alpha");
+};
+
+TEST_F(ExprTest, ConstPrinting) {
+  EXPECT_EQ(cst(2.5)->str(), "2.5");
+  EXPECT_EQ(cst(-1)->str(), "-1");
+}
+
+TEST_F(ExprTest, RefPrinting) {
+  EXPECT_EQ(aref(A)->str(), "A");
+  EXPECT_EQ(aref(A, {0, -1})->str(), "A@(0,-1)");
+  EXPECT_EQ(sref(S)->str(), "alpha");
+}
+
+TEST_F(ExprTest, BinaryPrinting) {
+  ExprPtr E = add(aref(A, {-1, 0}), mul(aref(B), cst(0.5)));
+  EXPECT_EQ(E->str(), "(A@(-1,0) + (B * 0.5))");
+  EXPECT_EQ(emin(aref(A), aref(B))->str(), "min(A, B)");
+}
+
+TEST_F(ExprTest, UnaryPrinting) {
+  EXPECT_EQ(neg(aref(A))->str(), "-(A)");
+  EXPECT_EQ(esqrt(aref(A))->str(), "sqrt(A)");
+  EXPECT_EQ(recip(aref(B))->str(), "recip(B)");
+}
+
+TEST_F(ExprTest, CloneProducesEqualTree) {
+  ExprPtr E = sub(esqrt(aref(A, {1, 1})), div(sref(S), cst(3)));
+  ExprPtr C = E->clone();
+  EXPECT_NE(E.get(), C.get());
+  EXPECT_EQ(E->str(), C->str());
+}
+
+TEST_F(ExprTest, CollectArrayRefsLeftToRight) {
+  ExprPtr E = add(aref(A, {0, 1}), mul(aref(B), aref(A)));
+  auto Refs = collectArrayRefs(E.get());
+  ASSERT_EQ(Refs.size(), 3u);
+  EXPECT_EQ(Refs[0]->getSymbol(), A);
+  EXPECT_EQ(Refs[0]->getOffset(), Offset({0, 1}));
+  EXPECT_EQ(Refs[1]->getSymbol(), B);
+  EXPECT_EQ(Refs[2]->getSymbol(), A);
+  EXPECT_TRUE(Refs[2]->getOffset().isZero());
+}
+
+TEST_F(ExprTest, CountOps) {
+  EXPECT_EQ(countOps(cst(1.0).get()), 0u);
+  EXPECT_EQ(countOps(aref(A).get()), 0u);
+  ExprPtr E = add(aref(A), mul(aref(B), neg(cst(2))));
+  EXPECT_EQ(countOps(E.get()), 3u);
+}
+
+TEST_F(ExprTest, EvaluateBinaryOpcodes) {
+  using Op = BinaryExpr::Opcode;
+  EXPECT_DOUBLE_EQ(BinaryExpr::evaluate(Op::Add, 2, 3), 5);
+  EXPECT_DOUBLE_EQ(BinaryExpr::evaluate(Op::Sub, 2, 3), -1);
+  EXPECT_DOUBLE_EQ(BinaryExpr::evaluate(Op::Mul, 2, 3), 6);
+  EXPECT_NEAR(BinaryExpr::evaluate(Op::Div, 6, 3), 2, 1e-9);
+  EXPECT_DOUBLE_EQ(BinaryExpr::evaluate(Op::Min, 2, 3), 2);
+  EXPECT_DOUBLE_EQ(BinaryExpr::evaluate(Op::Max, 2, 3), 3);
+}
+
+TEST_F(ExprTest, EvaluateUnaryOpcodes) {
+  using Op = UnaryExpr::Opcode;
+  EXPECT_DOUBLE_EQ(UnaryExpr::evaluate(Op::Neg, 2), -2);
+  EXPECT_DOUBLE_EQ(UnaryExpr::evaluate(Op::Abs, -2), 2);
+  EXPECT_DOUBLE_EQ(UnaryExpr::evaluate(Op::Sqrt, 4), 2);
+  EXPECT_NEAR(UnaryExpr::evaluate(Op::Recip, 4), 0.25, 1e-9);
+}
+
+TEST_F(ExprTest, RewriteArrayRefsToScalars) {
+  ScalarSymbol *SB = P.makeScalar("s_B");
+  ExprPtr E = add(aref(A), mul(aref(B), cst(2)));
+  ExprPtr R = cloneExprRewriting(E.get(), [&](const ArrayRefExpr &Ref) -> ExprPtr {
+    if (Ref.getSymbol() == B)
+      return sref(SB);
+    return nullptr;
+  });
+  EXPECT_EQ(R->str(), "(A + (s_B * 2))");
+  // Original untouched.
+  EXPECT_EQ(E->str(), "(A + (B * 2))");
+}
+
+TEST_F(ExprTest, WalkVisitsAllNodes) {
+  ExprPtr E = add(aref(A), mul(sref(S), cst(2)));
+  unsigned Count = 0;
+  walkExpr(E.get(), [&Count](const Expr *) { ++Count; });
+  EXPECT_EQ(Count, 5u);
+}
+
+} // namespace

@@ -1,0 +1,103 @@
+//===- tests/LivenessTest.cpp - Liveness and footprint tests ----------------===//
+
+#include "analysis/Footprint.h"
+#include "analysis/Liveness.h"
+
+#include "TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace alf;
+using namespace alf::analysis;
+using namespace alf::ir;
+
+namespace {
+
+TEST(LivenessTest, UserTempPairPeak) {
+  auto P = tp::makeUserTempPair();
+  LivenessInfo LI = LivenessInfo::compute(*P);
+  // A, B, C all live at S0..S1 boundary: A live-in/out, C live-out (from
+  // position 0 because live-in), B from S0 to S1.
+  EXPECT_EQ(LI.peakLive(), 3u);
+  // Filtering out B (as contraction would) drops the peak.
+  EXPECT_EQ(LI.peakLive([](const ArraySymbol *A) {
+              return A->getName() != "B";
+            }),
+            2u);
+}
+
+TEST(LivenessTest, TempIntervalSpansDefToLastUse) {
+  Program P("t");
+  const Region *R = P.regionFromExtents({8});
+  ArraySymbol *A = P.makeArray("A", 1);
+  ArraySymbol *T = P.makeUserTemp("T", 1);
+  ArraySymbol *B = P.makeArray("B", 1);
+  ArraySymbol *C = P.makeArray("C", 1);
+  P.assign(R, B, aref(A));  // S0: T not yet live
+  P.assign(R, T, aref(A));  // S1: T born
+  P.assign(R, C, aref(T));  // S2: T last use
+  P.assign(R, B, aref(A));  // S3: T dead
+  LivenessInfo LI = LivenessInfo::compute(P);
+  const LiveInterval *TI = nullptr;
+  for (const LiveInterval &I : LI.intervals())
+    if (I.Array == T)
+      TI = &I;
+  ASSERT_NE(TI, nullptr);
+  EXPECT_EQ(TI->First, 1u);
+  EXPECT_EQ(TI->Last, 2u);
+}
+
+TEST(LivenessTest, DisjointPhasesDoNotStack) {
+  // Two temporaries with disjoint live ranges: peak counts only one of
+  // them at a time.
+  Program P("phases");
+  const Region *R = P.regionFromExtents({8});
+  ArraySymbol *A = P.makeArray("A", 1);
+  ArraySymbol *T1 = P.makeUserTemp("T1", 1);
+  ArraySymbol *T2 = P.makeUserTemp("T2", 1);
+  P.assign(R, T1, aref(A));
+  P.assign(R, A, aref(T1));
+  P.assign(R, T2, aref(A));
+  P.assign(R, A, aref(T2));
+  LivenessInfo LI = LivenessInfo::compute(P);
+  EXPECT_EQ(LI.peakLive(), 2u); // A plus one temp
+}
+
+TEST(FootprintTest, HaloExtendsBounds) {
+  Program P("halo");
+  const Region *R = P.regionFromExtents({8, 8});
+  ArraySymbol *A = P.makeArray("A", 2);
+  ArraySymbol *B = P.makeArray("B", 2);
+  P.assign(R, B, add(aref(A, {-1, 0}), aref(A, {0, 2})));
+  FootprintInfo FI = FootprintInfo::compute(P);
+  const Region *BA = FI.boundsFor(A);
+  ASSERT_NE(BA, nullptr);
+  EXPECT_EQ(BA->lo(0), 0);  // shifted by -1
+  EXPECT_EQ(BA->hi(0), 8);
+  EXPECT_EQ(BA->lo(1), 1);
+  EXPECT_EQ(BA->hi(1), 10); // shifted by +2
+  const Region *BB = FI.boundsFor(B);
+  ASSERT_NE(BB, nullptr);
+  EXPECT_EQ(*BB, Region::fromExtents({8, 8}));
+}
+
+TEST(FootprintTest, BytesIncludeElementSize) {
+  Program P("bytes");
+  const Region *R = P.regionFromExtents({4, 4});
+  ArraySymbol *A = P.makeArray("A", 2);
+  ArraySymbol *B = P.makeArray("B", 2);
+  P.assign(R, B, aref(A));
+  FootprintInfo FI = FootprintInfo::compute(P);
+  EXPECT_EQ(FI.bytesFor(A), 16u * 8u);
+  EXPECT_EQ(FI.bytesFor(B), 16u * 8u);
+}
+
+TEST(FootprintTest, UnreferencedArrayHasNoFootprint) {
+  Program P("unref");
+  P.makeArray("Z", 2);
+  FootprintInfo FI = FootprintInfo::compute(P);
+  EXPECT_EQ(FI.boundsFor(cast<ArraySymbol>(P.findSymbol("Z"))), nullptr);
+  EXPECT_EQ(FI.bytesFor(cast<ArraySymbol>(P.findSymbol("Z"))), 0u);
+}
+
+} // namespace

@@ -1,0 +1,84 @@
+//===- tests/LoopStructureCompletenessTest.cpp - Figure 4 completeness -------===//
+//
+// FIND-LOOP-STRUCTURE is a greedy algorithm, but Definition 5's
+// condition (iv) asks whether *any* legal loop structure vector exists.
+// This property sweep compares the algorithm against brute force over
+// every signed permutation: whenever an exhaustive search finds a legal
+// vector, the greedy algorithm must find one too (and everything it
+// returns must be legal).
+//
+//===----------------------------------------------------------------------===//
+
+#include "xform/LoopStructure.h"
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace alf;
+using namespace alf::ir;
+using namespace alf::xform;
+
+namespace {
+
+/// True if \p P preserves every dependence in \p UDVs.
+bool isLegalFor(const LoopStructureVector &P,
+                const std::vector<Offset> &UDVs) {
+  for (const Offset &U : UDVs)
+    if (!isLexicographicallyNonnegative(constrain(U, P)))
+      return false;
+  return true;
+}
+
+/// Exhaustive search over all signed permutations of rank \p Rank.
+bool existsLegalVector(const std::vector<Offset> &UDVs, unsigned Rank) {
+  std::vector<int> Dims(Rank);
+  for (unsigned I = 0; I < Rank; ++I)
+    Dims[I] = static_cast<int>(I + 1);
+  std::sort(Dims.begin(), Dims.end());
+  do {
+    for (unsigned SignMask = 0; SignMask < (1u << Rank); ++SignMask) {
+      std::vector<int> Elems(Rank);
+      for (unsigned I = 0; I < Rank; ++I)
+        Elems[I] = (SignMask >> I) & 1 ? -Dims[I] : Dims[I];
+      if (isLegalFor(LoopStructureVector(Elems), UDVs))
+        return true;
+    }
+  } while (std::next_permutation(Dims.begin(), Dims.end()));
+  return false;
+}
+
+class Completeness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Completeness, GreedyAgreesWithExhaustiveSearch) {
+  SplitMix64 Rng(GetParam());
+  for (unsigned Trial = 0; Trial < 200; ++Trial) {
+    unsigned Rank = 1 + static_cast<unsigned>(Rng.nextBounded(3));
+    unsigned NumDeps = static_cast<unsigned>(Rng.nextBounded(6));
+    std::vector<Offset> UDVs;
+    for (unsigned D = 0; D < NumDeps; ++D) {
+      Offset U = Offset::zero(Rank);
+      for (unsigned K = 0; K < Rank; ++K)
+        U[K] = static_cast<int32_t>(Rng.nextBounded(5)) - 2;
+      UDVs.push_back(std::move(U));
+    }
+
+    auto Found = findLoopStructure(UDVs, Rank);
+    bool Exists = existsLegalVector(UDVs, Rank);
+    if (Found.has_value()) {
+      EXPECT_TRUE(isLegalFor(*Found, UDVs))
+          << "greedy returned an illegal vector " << Found->str();
+      EXPECT_TRUE(Exists);
+    } else {
+      EXPECT_FALSE(Exists)
+          << "greedy missed a legal vector for rank " << Rank;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Completeness,
+                         ::testing::Range<uint64_t>(1, 11));
+
+} // namespace

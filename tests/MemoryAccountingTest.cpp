@@ -1,0 +1,84 @@
+//===- tests/MemoryAccountingTest.cpp - Memory census tests -----------------===//
+
+#include "exec/MemoryAccounting.h"
+
+#include "analysis/ASDG.h"
+#include "ir/Normalize.h"
+#include "xform/Strategy.h"
+
+#include "TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace alf;
+using namespace alf::analysis;
+using namespace alf::exec;
+using namespace alf::ir;
+using namespace alf::xform;
+
+namespace {
+
+std::set<const ArraySymbol *> contractedSet(const Program &P, Strategy S) {
+  ASDG G = ASDG::build(P);
+  StrategyResult SR = applyStrategy(G, S);
+  return std::set<const ArraySymbol *>(SR.Contracted.begin(),
+                                       SR.Contracted.end());
+}
+
+TEST(MemoryCensusTest, StaticCountsWithAndWithoutContraction) {
+  auto P = tp::makeTomcatvFragment();
+  normalizeProgram(*P);
+  MemoryCensus Before = computeCensus(*P, {});
+  // 10 user arrays + 2 compiler temporaries.
+  EXPECT_EQ(Before.StaticArrays, 12u);
+  EXPECT_EQ(Before.StaticCompiler, 2u);
+  EXPECT_EQ(Before.StaticUser, 10u);
+
+  MemoryCensus After = computeCensus(*P, contractedSet(*P, Strategy::C2));
+  EXPECT_EQ(After.StaticArrays, 9u); // R, _T1, _T2 contracted
+  EXPECT_EQ(After.StaticCompiler, 0u);
+}
+
+TEST(MemoryCensusTest, PeakBytesDropWithContraction) {
+  auto P = tp::makeUserTempPair(64);
+  MemoryCensus Before = computeCensus(*P, {});
+  MemoryCensus After = computeCensus(*P, contractedSet(*P, Strategy::C2));
+  EXPECT_EQ(Before.PeakLive, 3u);
+  EXPECT_EQ(After.PeakLive, 2u);
+  EXPECT_EQ(Before.PeakBytes - After.PeakBytes, 64u * 64u * 8u);
+}
+
+TEST(MemoryCensusTest, ProblemSizeChangeFormula) {
+  // Paper Figure 8: C(lb, la) = 100 x (lb - la)/la.
+  EXPECT_NEAR(problemSizeChangePercent(19, 7), 171.4, 0.05);
+  EXPECT_NEAR(problemSizeChangePercent(8, 1), 700.0, 0.05);
+  EXPECT_NEAR(problemSizeChangePercent(49, 27), 81.5, 0.05);
+  EXPECT_NEAR(problemSizeChangePercent(23, 17), 35.3, 0.05);
+  EXPECT_NEAR(problemSizeChangePercent(40, 32), 25.0, 0.05);
+  EXPECT_TRUE(std::isinf(problemSizeChangePercent(22, 0)));
+}
+
+TEST(MemoryCensusTest, FindMaxProblemSize) {
+  // 10 arrays of N*N doubles.
+  auto Bytes = [](int64_t N) {
+    return static_cast<uint64_t>(10) * N * N * 8;
+  };
+  EXPECT_EQ(findMaxProblemSize(Bytes, 10 * 100 * 100 * 8, 1 << 20), 100);
+  EXPECT_EQ(findMaxProblemSize(Bytes, 10 * 100 * 100 * 8 - 1, 1 << 20), 99);
+  EXPECT_EQ(findMaxProblemSize(Bytes, 0, 1 << 20), 0);
+}
+
+TEST(MemoryCensusTest, ScalingMatchesLiveRatio) {
+  // With all arrays the same size, the measured problem-size growth along
+  // one dimension approaches sqrt(lb/la) for rank-2 data (the paper's
+  // volume-vs-dimension distinction in Figure 8).
+  double Lb = 19, La = 7;
+  double VolumeScale = Lb / La;
+  double DimScale = std::sqrt(VolumeScale);
+  EXPECT_NEAR(100.0 * (VolumeScale - 1.0), 171.4, 0.1);
+  EXPECT_NEAR(100.0 * (DimScale - 1.0), 64.8, 0.5);
+}
+
+} // namespace

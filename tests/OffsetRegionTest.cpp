@@ -1,0 +1,88 @@
+//===- tests/OffsetRegionTest.cpp - Offset and Region unit tests -----------===//
+
+#include "ir/Offset.h"
+#include "ir/Region.h"
+
+#include <gtest/gtest.h>
+
+using namespace alf::ir;
+
+TEST(OffsetTest, ZeroConstruction) {
+  Offset Z = Offset::zero(3);
+  EXPECT_EQ(Z.rank(), 3u);
+  EXPECT_TRUE(Z.isZero());
+  EXPECT_EQ(Z.str(), "@0");
+}
+
+TEST(OffsetTest, ElementAccessAndMutation) {
+  Offset O{1, -2, 0};
+  EXPECT_EQ(O[0], 1);
+  EXPECT_EQ(O[1], -2);
+  EXPECT_EQ(O[2], 0);
+  EXPECT_FALSE(O.isZero());
+  O[1] = 0;
+  O[0] = 0;
+  EXPECT_TRUE(O.isZero());
+}
+
+TEST(OffsetTest, SubtractionMatchesPaperUDVExamples) {
+  // Paper section 2.2: (0,0)-(0,-1) = (0,1); (0,0)-(-1,1) = (1,-1);
+  // (-1,0)-(0,0) = (-1,0).
+  Offset Zero = Offset::zero(2);
+  EXPECT_EQ(Zero - Offset({0, -1}), Offset({0, 1}));
+  EXPECT_EQ(Zero - Offset({-1, 1}), Offset({1, -1}));
+  EXPECT_EQ(Offset({-1, 0}) - Zero, Offset({-1, 0}));
+}
+
+TEST(OffsetTest, Addition) {
+  EXPECT_EQ(Offset({1, 2}) + Offset({-1, 3}), Offset({0, 5}));
+}
+
+TEST(OffsetTest, PrintingNonZero) {
+  EXPECT_EQ(Offset({-1, 1}).str(), "@(-1,1)");
+  EXPECT_EQ(Offset({2}).str(), "@(2)");
+}
+
+TEST(OffsetTest, Ordering) {
+  EXPECT_LT(Offset({0, 1}), Offset({1, 0}));
+  EXPECT_LT(Offset({-1, 0}), Offset({0, 0}));
+}
+
+TEST(RegionTest, FromExtents) {
+  Region R = Region::fromExtents({4, 6});
+  EXPECT_EQ(R.rank(), 2u);
+  EXPECT_EQ(R.lo(0), 1);
+  EXPECT_EQ(R.hi(0), 4);
+  EXPECT_EQ(R.lo(1), 1);
+  EXPECT_EQ(R.hi(1), 6);
+  EXPECT_EQ(R.extent(0), 4);
+  EXPECT_EQ(R.extent(1), 6);
+  EXPECT_EQ(R.size(), 24);
+}
+
+TEST(RegionTest, ExplicitBounds) {
+  Region R({2, 0}, {5, 3});
+  EXPECT_EQ(R.extent(0), 4);
+  EXPECT_EQ(R.extent(1), 4);
+  EXPECT_EQ(R.size(), 16);
+  EXPECT_EQ(R.str(), "[2..5,0..3]");
+}
+
+TEST(RegionTest, Equality) {
+  EXPECT_EQ(Region::fromExtents({3, 3}), Region::fromExtents({3, 3}));
+  EXPECT_NE(Region::fromExtents({3, 3}), Region::fromExtents({3, 4}));
+  EXPECT_NE(Region::fromExtents({4}), Region({2}, {5}));
+}
+
+TEST(RegionTest, RankOne) {
+  Region R = Region::fromExtents({10});
+  EXPECT_EQ(R.rank(), 1u);
+  EXPECT_EQ(R.size(), 10);
+  EXPECT_EQ(R.str(), "[1..10]");
+}
+
+TEST(RegionTest, RankThree) {
+  Region R = Region::fromExtents({2, 3, 4});
+  EXPECT_EQ(R.rank(), 3u);
+  EXPECT_EQ(R.size(), 24);
+}

@@ -1,0 +1,63 @@
+//===- tests/StatisticTest.cpp - Pass statistics tests -----------------------===//
+
+#include "support/Statistic.h"
+
+#include "analysis/ASDG.h"
+#include "ir/Normalize.h"
+#include "scalarize/Scalarize.h"
+#include "xform/Strategy.h"
+
+#include "TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace alf;
+using namespace alf::analysis;
+using namespace alf::xform;
+
+namespace {
+
+TEST(StatisticTest, CountersIncrementAndReset) {
+  ALF_STATISTIC(TestCounter, "test", "A test counter");
+  resetStatistics();
+  uint64_t Before = TestCounter.value();
+  ++TestCounter;
+  TestCounter += 4;
+  EXPECT_EQ(TestCounter.value(), Before + 5);
+  EXPECT_EQ(getStatisticValue("test", "TestCounter"), Before + 5);
+  resetStatistics();
+  EXPECT_EQ(TestCounter.value(), 0u);
+}
+
+TEST(StatisticTest, PassesReportTheirWork) {
+  resetStatistics();
+  auto P = tp::makeTomcatvFragment(8);
+  ir::normalizeProgram(*P);
+  ASDG G = ASDG::build(*P);
+  auto LP = scalarize::scalarizeWithStrategy(G, Strategy::C2);
+  (void)LP;
+  EXPECT_EQ(getStatisticValue("normalize", "NumCompilerTemps"), 2u);
+  EXPECT_GE(getStatisticValue("fusion", "NumMergesPerformed"), 1u);
+  EXPECT_EQ(getStatisticValue("contract", "NumArraysContracted"), 3u);
+  EXPECT_GE(getStatisticValue("scalarize", "NumLoopNests"), 1u);
+}
+
+TEST(StatisticTest, PrintSkipsZeroCounters) {
+  resetStatistics();
+  ALF_STATISTIC(NeverBumpedHere, "test", "Should not appear when zero");
+  (void)NeverBumpedHere;
+  std::ostringstream OS;
+  printStatistics(OS);
+  EXPECT_EQ(OS.str().find("Should not appear when zero"),
+            std::string::npos);
+  ALF_STATISTIC(BumpedHere, "test", "Should appear in the report");
+  ++BumpedHere;
+  std::ostringstream OS2;
+  printStatistics(OS2);
+  EXPECT_NE(OS2.str().find("Should appear in the report"),
+            std::string::npos);
+}
+
+} // namespace

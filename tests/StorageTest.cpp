@@ -1,0 +1,172 @@
+//===- tests/StorageTest.cpp - Storage and generator unit tests --------------===//
+
+#include "exec/Storage.h"
+
+#include "analysis/Footprint.h"
+#include "ir/Generator.h"
+#include "ir/Normalize.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace alf;
+using namespace alf::analysis;
+using namespace alf::exec;
+using namespace alf::ir;
+
+namespace {
+
+TEST(ArrayBufferTest, RowMajorIndexing) {
+  Program P("t");
+  ArraySymbol *A = P.makeArray("A", 2);
+  ArrayBuffer Buf(A, Region({0, 1}, {3, 8}), 4096);
+  // 4 x 8 elements; strides (8, 1).
+  EXPECT_EQ(Buf.linearIndex({0, 1}), 0);
+  EXPECT_EQ(Buf.linearIndex({0, 8}), 7);
+  EXPECT_EQ(Buf.linearIndex({1, 1}), 8);
+  EXPECT_EQ(Buf.linearIndex({3, 8}), 31);
+  EXPECT_EQ(Buf.sizeBytes(), 32u * 8u);
+  EXPECT_EQ(Buf.addrOf({0, 1}), 4096u);
+  EXPECT_EQ(Buf.addrOf({1, 1}), 4096u + 64u);
+}
+
+TEST(ArrayBufferTest, LoadStoreRoundTrip) {
+  Program P("t");
+  ArraySymbol *A = P.makeArray("A", 1);
+  ArrayBuffer Buf(A, Region({1}, {10}), 0);
+  Buf.store({3}, 2.5);
+  EXPECT_DOUBLE_EQ(Buf.load({3}), 2.5);
+  EXPECT_DOUBLE_EQ(Buf.load({4}), 0.0);
+}
+
+TEST(ArrayBufferTest, FillRandomDeterministic) {
+  Program P("t");
+  ArraySymbol *A = P.makeArray("A", 1);
+  ArrayBuffer B1(A, Region({1}, {64}), 0);
+  ArrayBuffer B2(A, Region({1}, {64}), 0);
+  B1.fillRandom(5);
+  B2.fillRandom(5);
+  for (int64_t I = 1; I <= 64; ++I)
+    EXPECT_EQ(B1.load({I}), B2.load({I}));
+  B2.fillRandom(6);
+  bool AnyDiff = false;
+  for (int64_t I = 1; I <= 64; ++I)
+    AnyDiff |= B1.load({I}) != B2.load({I});
+  EXPECT_TRUE(AnyDiff);
+}
+
+TEST(StorageTest, AllocatesByFilterAndSeedsLiveIn) {
+  Program P("t");
+  const Region *R = P.regionFromExtents({8});
+  ArraySymbol *A = P.makeArray("A", 1);       // live-in
+  ArraySymbol *T = P.makeUserTemp("T", 1);    // zero-initialized
+  ScalarSymbol *S = P.makeScalar("alpha");
+  P.assign(R, T, add(aref(A), sref(S)));
+  FootprintInfo FI = FootprintInfo::compute(P);
+
+  Storage St = Storage::allocate(P, FI, 11,
+                                 [](const ArraySymbol *) { return true; });
+  ASSERT_NE(St.buffer(A), nullptr);
+  ASSERT_NE(St.buffer(T), nullptr);
+  // Live-in array seeded, temp zeroed.
+  bool AnyNonZero = false;
+  for (double V : St.buffer(A)->raw())
+    AnyNonZero |= V != 0.0;
+  EXPECT_TRUE(AnyNonZero);
+  for (double V : St.buffer(T)->raw())
+    EXPECT_EQ(V, 0.0);
+  // Scalars in [0.5, 1.5).
+  double Alpha = St.getScalar(S);
+  EXPECT_GE(Alpha, 0.5);
+  EXPECT_LT(Alpha, 1.5);
+
+  Storage None = Storage::allocate(P, FI, 11,
+                                   [](const ArraySymbol *) { return false; });
+  EXPECT_EQ(None.buffer(A), nullptr);
+  EXPECT_EQ(None.totalBytes(), 0u);
+}
+
+TEST(StorageTest, SeedsAreNameKeyed) {
+  // The same array name gets the same contents regardless of the rest of
+  // the program — the property that makes cross-strategy runs comparable.
+  Program P1("p1"), P2("p2");
+  const Region *R1 = P1.regionFromExtents({16});
+  const Region *R2 = P2.regionFromExtents({16});
+  ArraySymbol *A1 = P1.makeArray("A", 1);
+  ArraySymbol *Z = P2.makeArray("Z", 1); // extra symbol shifts ids
+  (void)Z;
+  ArraySymbol *A2 = P2.makeArray("A", 1);
+  ArraySymbol *B1 = P1.makeArray("B1", 1);
+  ArraySymbol *B2 = P2.makeArray("B2", 1);
+  P1.assign(R1, B1, aref(A1));
+  P2.assign(R2, B2, aref(A2));
+  Storage S1 = Storage::allocate(P1, FootprintInfo::compute(P1), 99,
+                                 [](const ArraySymbol *) { return true; });
+  Storage S2 = Storage::allocate(P2, FootprintInfo::compute(P2), 99,
+                                 [](const ArraySymbol *) { return true; });
+  EXPECT_EQ(S1.buffer(A1)->raw(), S2.buffer(A2)->raw());
+}
+
+TEST(StorageTest, BoundsOverride) {
+  Program P("t");
+  const Region *R = P.regionFromExtents({8, 8});
+  ArraySymbol *A = P.makeArray("A", 2);
+  ArraySymbol *B = P.makeArray("B", 2);
+  P.assign(R, B, aref(A));
+  FootprintInfo FI = FootprintInfo::compute(P);
+  Storage St = Storage::allocate(
+      P, FI, 1, [](const ArraySymbol *) { return true; },
+      [&A](const ArraySymbol *Sym) -> std::optional<Region> {
+        if (Sym == A)
+          return Region({0, 0}, {1, 7}); // 2 x 8 rolling buffer
+        return std::nullopt;
+      });
+  EXPECT_EQ(St.buffer(A)->sizeBytes(), 2u * 8u * 8u);
+  EXPECT_EQ(St.buffer(B)->sizeBytes(), 64u * 8u);
+}
+
+TEST(StorageTest, HashNameStable) {
+  EXPECT_EQ(hashName("A"), hashName("A"));
+  EXPECT_NE(hashName("A"), hashName("B"));
+  // FNV-1a of "A" — pinned because the emitted C replicates it.
+  EXPECT_EQ(hashName("A"), 0xaf63fc4c860222ecULL);
+}
+
+TEST(GeneratorTest, DeterministicInSeed) {
+  GeneratorConfig Cfg;
+  Cfg.Seed = 123;
+  auto P1 = generateRandomProgram(Cfg);
+  auto P2 = generateRandomProgram(Cfg);
+  EXPECT_EQ(P1->str(), P2->str());
+  Cfg.Seed = 124;
+  auto P3 = generateRandomProgram(Cfg);
+  EXPECT_NE(P1->str(), P3->str());
+}
+
+TEST(GeneratorTest, RespectsConfig) {
+  GeneratorConfig Cfg;
+  Cfg.Seed = 5;
+  Cfg.NumStmts = 12;
+  Cfg.NumPersistent = 2;
+  Cfg.NumTemps = 4;
+  Cfg.AddOpaque = true;
+  auto P = generateRandomProgram(Cfg);
+  EXPECT_EQ(P->numStmts(), 13u); // 12 + opaque
+  EXPECT_EQ(P->arrays().size(), 6u);
+  normalizeProgram(*P);
+  EXPECT_TRUE(isWellFormed(*P));
+}
+
+TEST(GeneratorTest, NoSelfRefWhenDisabled) {
+  GeneratorConfig Cfg;
+  Cfg.Seed = 31;
+  Cfg.AllowSelfRef = false;
+  Cfg.NumStmts = 20;
+  auto P = generateRandomProgram(Cfg);
+  // Without self references the program is already in normal form.
+  EXPECT_EQ(normalizeProgram(*P), 0u);
+}
+
+} // namespace

@@ -1,0 +1,89 @@
+//===- tests/TestPrograms.h - Shared program builders for tests -*- C++ -*-===//
+//
+// Part of the ALF project: array-level fusion and contraction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builders for the paper's worked examples, shared across test binaries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALF_TESTS_TESTPROGRAMS_H
+#define ALF_TESTS_TESTPROGRAMS_H
+
+#include "ir/Program.h"
+
+#include <memory>
+
+namespace alf {
+namespace tp {
+
+/// The paper's Figure 2 example over [1..M, 1..N]:
+///   S0: A := B@(-1,0)
+///   S1: C := A@(0,-1)
+///   S2: B := A@(-1,1)
+/// Expected UDVs: A: (0,1) on S0->S1 and (1,-1) on S0->S2; B: (-1,0) anti
+/// on S0->S2.
+inline std::unique_ptr<ir::Program> makeFigure2(int64_t M = 8, int64_t N = 8) {
+  using namespace ir;
+  auto P = std::make_unique<Program>("figure2");
+  const Region *R = P->regionFromExtents({M, N});
+  ArraySymbol *A = P->makeArray("A", 2);
+  ArraySymbol *B = P->makeArray("B", 2);
+  ArraySymbol *C = P->makeArray("C", 2);
+  P->assign(R, A, aref(B, {-1, 0}));
+  P->assign(R, C, aref(A, {0, -1}));
+  P->assign(R, B, aref(A, {-1, 1}));
+  return P;
+}
+
+/// The Figure 1 Tomcatv tridiagonal-solver fragment, modeled as rank-1
+/// statements over one row sweep (the paper's `R(i,:) = ...` slices):
+///   S0: R  := AA * Dprev
+///   S1: D  := recip(DD - AAprev * R)
+///   S2: Rx := Rx - Rxprev * R        (reads and writes Rx)
+///   S3: Ry := Ry - Ryprev * R        (reads and writes Ry)
+/// After normalization, S2/S3 split through compiler temporaries. The
+/// paper's point: R contracts to the scalar `s` of Figure 1(b).
+inline std::unique_ptr<ir::Program> makeTomcatvFragment(int64_t N = 64) {
+  using namespace ir;
+  auto P = std::make_unique<Program>("tomcatv-fragment");
+  const Region *Row = P->regionFromExtents({N});
+  ArraySymbol *R = P->makeUserTemp("R", 1);
+  ArraySymbol *AA = P->makeArray("AA", 1);
+  ArraySymbol *AAprev = P->makeArray("AAprev", 1);
+  ArraySymbol *D = P->makeArray("D", 1);
+  ArraySymbol *Dprev = P->makeArray("Dprev", 1);
+  ArraySymbol *DD = P->makeArray("DD", 1);
+  ArraySymbol *Rx = P->makeArray("Rx", 1);
+  ArraySymbol *Rxprev = P->makeArray("Rxprev", 1);
+  ArraySymbol *Ry = P->makeArray("Ry", 1);
+  ArraySymbol *Ryprev = P->makeArray("Ryprev", 1);
+  P->assign(Row, R, mul(aref(AA), aref(Dprev)));
+  P->assign(Row, D, recip(sub(aref(DD), mul(aref(AAprev), aref(R)))));
+  P->assign(Row, Rx, sub(aref(Rx), mul(aref(Rxprev), aref(R))));
+  P->assign(Row, Ry, sub(aref(Ry), mul(aref(Ryprev), aref(R))));
+  return P;
+}
+
+/// A producer/consumer pair with a user temporary:
+///   S0: B := A + A
+///   S1: C := B
+/// (the paper's Figure 5 fragment (6); B is dead afterwards).
+inline std::unique_ptr<ir::Program> makeUserTempPair(int64_t N = 16) {
+  using namespace ir;
+  auto P = std::make_unique<Program>("user-temp-pair");
+  const Region *R = P->regionFromExtents({N, N});
+  ArraySymbol *A = P->makeArray("A", 2);
+  ArraySymbol *B = P->makeUserTemp("B", 2);
+  ArraySymbol *C = P->makeArray("C", 2);
+  P->assign(R, B, add(aref(A), aref(A)));
+  P->assign(R, C, aref(B));
+  return P;
+}
+
+} // namespace tp
+} // namespace alf
+
+#endif // ALF_TESTS_TESTPROGRAMS_H

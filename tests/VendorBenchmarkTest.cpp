@@ -1,0 +1,97 @@
+//===- tests/VendorBenchmarkTest.cpp - Vendor policies on benchmarks ---------===//
+//
+// Runs the five modeled compilers over the six benchmark programs and
+// checks the dominance structure the paper's section 5.1 implies: every
+// vendor produces a valid partition, contraction capability is ordered
+// PGI/IBM <= APR <= Cray <= ZPL, and the specific prose claims (no user
+// contraction below Cray, compiler temporaries eliminated everywhere)
+// hold on real program shapes, not just the probe fragments.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vendors/CompilerModel.h"
+
+#include "benchprogs/Benchmarks.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace alf;
+using namespace alf::benchprogs;
+using namespace alf::ir;
+using namespace alf::vendors;
+
+namespace {
+
+struct VendorCensus {
+  std::string Vendor;
+  unsigned Contracted = 0;
+  unsigned CompilerContracted = 0;
+  unsigned UserContracted = 0;
+};
+
+std::vector<VendorCensus> censusFor(const BenchmarkInfo &B) {
+  std::vector<VendorCensus> Result;
+  for (const VendorPolicy &Policy : allVendorPolicies()) {
+    VendorRun Run = runVendorPipeline(B.Build(8), Policy);
+    VendorCensus C;
+    C.Vendor = Policy.Name;
+    for (const std::string &Name : Run.ContractedNames) {
+      ++C.Contracted;
+      const auto *A = dyn_cast<ArraySymbol>(Run.Prog->findSymbol(Name));
+      EXPECT_NE(A, nullptr) << Name;
+      if (A && A->isCompilerTemp())
+        ++C.CompilerContracted;
+      else if (A)
+        ++C.UserContracted;
+    }
+    EXPECT_TRUE(isWellFormed(*Run.Prog)) << Policy.Name;
+    Result.push_back(std::move(C));
+  }
+  return Result;
+}
+
+class VendorBenchmark : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(VendorBenchmark, CapabilityOrderingHolds) {
+  const BenchmarkInfo &B = allBenchmarks()[GetParam()];
+  std::vector<VendorCensus> C = censusFor(B);
+  ASSERT_EQ(C.size(), 5u); // PGI, IBM, APR, Cray, ZPL
+  // PGI == IBM (identical policies).
+  EXPECT_EQ(C[0].Contracted, C[1].Contracted);
+  // Monotone capability: each step contracts at least as much.
+  EXPECT_LE(C[1].Contracted, C[2].Contracted) << B.Name;
+  EXPECT_LE(C[2].Contracted, C[3].Contracted) << B.Name;
+  EXPECT_LE(C[3].Contracted, C[4].Contracted) << B.Name;
+}
+
+TEST_P(VendorBenchmark, OnlyCrayAndZplContractUserArrays) {
+  const BenchmarkInfo &B = allBenchmarks()[GetParam()];
+  std::vector<VendorCensus> C = censusFor(B);
+  EXPECT_EQ(C[0].UserContracted, 0u) << B.Name; // PGI
+  EXPECT_EQ(C[1].UserContracted, 0u) << B.Name; // IBM
+  EXPECT_EQ(C[2].UserContracted, 0u) << B.Name; // APR
+}
+
+TEST_P(VendorBenchmark, ZplContractsAllCompilerTemporaries) {
+  // Figure 7: the "with contraction" column shows 0 compiler arrays on
+  // every benchmark under the paper's technique.
+  const BenchmarkInfo &B = allBenchmarks()[GetParam()];
+  std::vector<VendorCensus> C = censusFor(B);
+  EXPECT_EQ(C[4].CompilerContracted, B.PaperCompilerBefore) << B.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSix, VendorBenchmark, ::testing::Range(0u, 6u),
+                         [](const ::testing::TestParamInfo<unsigned> &Info) {
+                           return allBenchmarks()[Info.param].Name;
+                         });
+
+TEST(VendorBenchmarkTest, ZplMatchesFigure7OnTomcatv) {
+  // The ZPL policy's pipeline must contract exactly the Figure 7 set.
+  const BenchmarkInfo &B = allBenchmarks()[3];
+  VendorRun Run = runVendorPipeline(B.Build(8), allVendorPolicies()[4]);
+  EXPECT_EQ(Run.ContractedNames.size(),
+            B.PaperStaticBefore - B.PaperStaticAfter);
+}
+
+} // namespace

@@ -1,0 +1,201 @@
+//===- tools/alf_stress.cpp - Randomized cross-validation driver -------------===//
+//
+// Long-running stress tool: generates random array programs and
+// cross-checks every layer of ALF against the interpreter oracle —
+// strategy equivalence, partition validity, distributed (SPMD) execution
+// with compiler-inserted halo exchanges, partial contraction, and
+// (optionally) the C backend compiled with the system compiler.
+//
+// Usage: alf_stress [--count=N] [--seed=S] [--procs=P] [--emit-c]
+//
+// Exits nonzero on the first divergence, printing the offending program.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ASDG.h"
+#include "comm/CommInsertion.h"
+#include "distsim/DistInterpreter.h"
+#include "exec/Interpreter.h"
+#include "ir/Generator.h"
+#include "ir/Normalize.h"
+#include "ir/Verifier.h"
+#include "scalarize/CEmitter.h"
+#include "scalarize/Scalarize.h"
+#include "support/StringUtil.h"
+#include "xform/Strategy.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+using namespace alf;
+using namespace alf::analysis;
+using namespace alf::exec;
+using namespace alf::ir;
+using namespace alf::xform;
+
+namespace {
+
+struct Stats {
+  unsigned Programs = 0;
+  unsigned StrategyRuns = 0;
+  unsigned Contractions = 0;
+  unsigned PartialPlans = 0;
+  unsigned DistRuns = 0;
+  unsigned CCompiles = 0;
+};
+
+/// Fails loudly with the program text for reproduction.
+[[noreturn]] void fail(const Program &P, const std::string &What) {
+  std::cerr << "STRESS FAILURE: " << What << "\nprogram:\n" << P.str();
+  std::exit(1);
+}
+
+bool checkEmittedC(const lir::LoopProgram &LP, uint64_t Seed,
+                   const RunResult &Expected) {
+  static int Counter = 0;
+  std::string Base = formatString("/tmp/alf_stress_%d_%d", getpid(), Counter++);
+  {
+    std::ofstream Out(Base + ".c");
+    Out << scalarize::emitCWithHarness(LP, "kernel", Seed);
+  }
+  std::string Cmd = "cc -std=c99 -O1 -ffp-contract=off -o " + Base + ".exe " +
+                    Base + ".c -lm 2>&1";
+  if (std::system(Cmd.c_str()) != 0)
+    return false;
+  FILE *Pipe = popen((Base + ".exe").c_str(), "r");
+  if (!Pipe)
+    return false;
+  bool OK = true;
+  char Name[256];
+  double Value;
+  while (std::fscanf(Pipe, "%255s %lf", Name, &Value) == 2) {
+    auto AIt = Expected.LiveOut.find(Name);
+    if (AIt != Expected.LiveOut.end()) {
+      double Sum = 0.0;
+      for (double V : AIt->second)
+        Sum += V;
+      OK &= std::fabs(Sum - Value) <= 1e-9 * (std::fabs(Sum) + 1.0);
+      continue;
+    }
+    auto SIt = Expected.ScalarsOut.find(Name);
+    if (SIt != Expected.ScalarsOut.end())
+      OK &= std::fabs(SIt->second - Value) <=
+            1e-9 * (std::fabs(SIt->second) + 1.0);
+  }
+  pclose(Pipe);
+  std::remove((Base + ".c").c_str());
+  std::remove((Base + ".exe").c_str());
+  return OK;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned Count = 50;
+  uint64_t Seed = 1;
+  unsigned Procs = 4;
+  bool EmitC = false;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--count=", 0) == 0)
+      Count = static_cast<unsigned>(std::atoi(Arg.c_str() + 8));
+    else if (Arg.rfind("--seed=", 0) == 0)
+      Seed = static_cast<uint64_t>(std::atoll(Arg.c_str() + 7));
+    else if (Arg.rfind("--procs=", 0) == 0)
+      Procs = static_cast<unsigned>(std::atoi(Arg.c_str() + 8));
+    else if (Arg == "--emit-c")
+      EmitC = true;
+    else {
+      std::cerr << "usage: alf_stress [--count=N] [--seed=S] [--procs=P] "
+                   "[--emit-c]\n";
+      return 2;
+    }
+  }
+
+  bool HaveCC = EmitC && std::system("cc --version > /dev/null 2>&1") == 0;
+  if (EmitC && !HaveCC)
+    std::cerr << "note: no system C compiler; skipping --emit-c checks\n";
+
+  Stats S;
+  for (unsigned Iter = 0; Iter < Count; ++Iter) {
+    uint64_t ProgSeed = Seed + Iter;
+    GeneratorConfig Cfg;
+    Cfg.Seed = ProgSeed;
+    Cfg.NumStmts = 4 + static_cast<unsigned>(ProgSeed % 12);
+    Cfg.NumPersistent = 2 + static_cast<unsigned>(ProgSeed % 3);
+    Cfg.NumTemps = 2 + static_cast<unsigned>((ProgSeed / 3) % 4);
+    Cfg.Extent = 6 + static_cast<int64_t>(ProgSeed % 4);
+    Cfg.MaxOffset = 1 + static_cast<unsigned>(ProgSeed % 2);
+    Cfg.UseTwoRegions = ProgSeed % 5 == 0;
+    Cfg.AddOpaque = ProgSeed % 7 == 0;
+
+    auto P = generateRandomProgram(Cfg);
+    normalizeProgram(*P);
+    if (!isWellFormed(*P))
+      fail(*P, "normalized program failed verification");
+    ++S.Programs;
+
+    ASDG G = ASDG::build(*P);
+    auto Base = scalarize::scalarizeWithStrategy(G, Strategy::Baseline);
+    RunResult BaseRes = run(Base, ProgSeed ^ 0xfeed);
+
+    for (Strategy Strat : allStrategies()) {
+      StrategyResult SR = applyStrategy(G, Strat);
+      if (!isValidPartition(SR.Partition))
+        fail(*P, formatString("invalid partition under %s",
+                              getStrategyName(Strat)));
+      S.Contractions += static_cast<unsigned>(SR.Contracted.size());
+      auto LP = scalarize::scalarize(G, SR);
+      std::string Why;
+      if (!resultsMatch(BaseRes, run(LP, ProgSeed ^ 0xfeed), 0.0, &Why))
+        fail(*P, formatString("%s diverged: %s", getStrategyName(Strat),
+                              Why.c_str()));
+      ++S.StrategyRuns;
+    }
+
+    // Partial contraction with every dimension sequential.
+    {
+      auto LP = scalarize::scalarizeWithPartialContraction(
+          G, Strategy::C2, SequentialDims::dims({0, 1}));
+      S.PartialPlans += static_cast<unsigned>(LP.partialPlans().size());
+      std::string Why;
+      if (!resultsMatch(BaseRes, run(LP, ProgSeed ^ 0xfeed), 0.0, &Why))
+        fail(*P, "partial contraction diverged: " + Why);
+    }
+
+    // Distributed execution (no opaque statements there).
+    if (!Cfg.AddOpaque) {
+      auto LP = scalarize::scalarizeWithStrategy(G, Strategy::C2F3);
+      comm::insertLoopLevelComm(LP);
+      RunResult Dist = distsim::runDistributed(
+          LP, machine::ProcGrid::make(Procs, Cfg.Rank), ProgSeed ^ 0xfeed);
+      std::string Why;
+      if (!resultsMatch(BaseRes, Dist, 0.0, &Why))
+        fail(*P, "distributed run diverged: " + Why);
+      ++S.DistRuns;
+    }
+
+    if (HaveCC) {
+      auto LP = scalarize::scalarizeWithStrategy(G, Strategy::C2);
+      if (!checkEmittedC(LP, ProgSeed ^ 0xfeed, run(LP, ProgSeed ^ 0xfeed)))
+        fail(*P, "emitted C diverged or failed to compile");
+      ++S.CCompiles;
+    }
+
+    if ((Iter + 1) % 25 == 0)
+      std::cout << "..." << (Iter + 1) << "/" << Count << " programs OK\n";
+  }
+
+  std::cout << "alf_stress: all checks passed\n"
+            << "  programs:        " << S.Programs << '\n'
+            << "  strategy runs:   " << S.StrategyRuns << '\n'
+            << "  contractions:    " << S.Contractions << '\n'
+            << "  partial plans:   " << S.PartialPlans << '\n'
+            << "  distributed runs:" << S.DistRuns << '\n'
+            << "  C compilations:  " << S.CCompiles << '\n';
+  return 0;
+}
