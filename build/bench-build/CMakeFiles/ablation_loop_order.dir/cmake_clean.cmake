@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_loop_order"
+  "../bench/ablation_loop_order.pdb"
+  "CMakeFiles/ablation_loop_order.dir/ablation_loop_order.cpp.o"
+  "CMakeFiles/ablation_loop_order.dir/ablation_loop_order.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_loop_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

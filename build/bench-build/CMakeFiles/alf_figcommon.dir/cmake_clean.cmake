@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alf_figcommon.dir/FigureCommon.cpp.o"
+  "CMakeFiles/alf_figcommon.dir/FigureCommon.cpp.o.d"
+  "libalf_figcommon.a"
+  "libalf_figcommon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alf_figcommon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/algo_scaling"
+  "../bench/algo_scaling.pdb"
+  "CMakeFiles/algo_scaling.dir/algo_scaling.cpp.o"
+  "CMakeFiles/algo_scaling.dir/algo_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_partial_contraction.cpp" "bench-build/CMakeFiles/ext_partial_contraction.dir/ext_partial_contraction.cpp.o" "gcc" "bench-build/CMakeFiles/ext_partial_contraction.dir/ext_partial_contraction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchprogs/CMakeFiles/alf_benchprogs.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/alf_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/alf_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/alf_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/scalarize/CMakeFiles/alf_scalarize.dir/DependInfo.cmake"
+  "/root/repo/build/src/xform/CMakeFiles/alf_xform.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/alf_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/alf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/alf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_partial_contraction"
+  "../bench/ext_partial_contraction.pdb"
+  "CMakeFiles/ext_partial_contraction.dir/ext_partial_contraction.cpp.o"
+  "CMakeFiles/ext_partial_contraction.dir/ext_partial_contraction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_partial_contraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

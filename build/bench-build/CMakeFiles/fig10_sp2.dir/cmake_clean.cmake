@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_sp2"
+  "../bench/fig10_sp2.pdb"
+  "CMakeFiles/fig10_sp2.dir/fig10_sp2.cpp.o"
+  "CMakeFiles/fig10_sp2.dir/fig10_sp2.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_sp2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_paragon"
+  "../bench/fig11_paragon.pdb"
+  "CMakeFiles/fig11_paragon.dir/fig11_paragon.cpp.o"
+  "CMakeFiles/fig11_paragon.dir/fig11_paragon.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_paragon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

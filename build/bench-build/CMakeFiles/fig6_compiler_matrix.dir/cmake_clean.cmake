@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_compiler_matrix"
+  "../bench/fig6_compiler_matrix.pdb"
+  "CMakeFiles/fig6_compiler_matrix.dir/fig6_compiler_matrix.cpp.o"
+  "CMakeFiles/fig6_compiler_matrix.dir/fig6_compiler_matrix.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_compiler_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_static_arrays"
+  "../bench/fig7_static_arrays.pdb"
+  "CMakeFiles/fig7_static_arrays.dir/fig7_static_arrays.cpp.o"
+  "CMakeFiles/fig7_static_arrays.dir/fig7_static_arrays.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_static_arrays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_problem_size"
+  "../bench/fig8_problem_size.pdb"
+  "CMakeFiles/fig8_problem_size.dir/fig8_problem_size.cpp.o"
+  "CMakeFiles/fig8_problem_size.dir/fig8_problem_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_problem_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

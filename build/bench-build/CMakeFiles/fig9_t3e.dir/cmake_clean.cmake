@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_t3e"
+  "../bench/fig9_t3e.pdb"
+  "CMakeFiles/fig9_t3e.dir/fig9_t3e.cpp.o"
+  "CMakeFiles/fig9_t3e.dir/fig9_t3e.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_t3e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

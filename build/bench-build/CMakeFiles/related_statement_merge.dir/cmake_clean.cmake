@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/related_statement_merge"
+  "../bench/related_statement_merge.pdb"
+  "CMakeFiles/related_statement_merge.dir/related_statement_merge.cpp.o"
+  "CMakeFiles/related_statement_merge.dir/related_statement_merge.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_statement_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

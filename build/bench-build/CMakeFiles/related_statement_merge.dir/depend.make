@@ -1,0 +1,2 @@
+# Empty dependencies file for related_statement_merge.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec55_comm_interaction"
+  "../bench/sec55_comm_interaction.pdb"
+  "CMakeFiles/sec55_comm_interaction.dir/sec55_comm_interaction.cpp.o"
+  "CMakeFiles/sec55_comm_interaction.dir/sec55_comm_interaction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec55_comm_interaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

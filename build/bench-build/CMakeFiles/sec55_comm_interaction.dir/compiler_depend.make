@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec55_comm_interaction.
+# This may be replaced when dependencies are built.

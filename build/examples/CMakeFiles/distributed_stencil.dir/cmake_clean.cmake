@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_stencil.dir/distributed_stencil.cpp.o"
+  "CMakeFiles/distributed_stencil.dir/distributed_stencil.cpp.o.d"
+  "distributed_stencil"
+  "distributed_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

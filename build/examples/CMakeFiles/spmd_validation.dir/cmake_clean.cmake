@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmd_validation.dir/spmd_validation.cpp.o"
+  "CMakeFiles/spmd_validation.dir/spmd_validation.cpp.o.d"
+  "spmd_validation"
+  "spmd_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmd_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tomcatv_walkthrough.dir/tomcatv_walkthrough.cpp.o"
+  "CMakeFiles/tomcatv_walkthrough.dir/tomcatv_walkthrough.cpp.o.d"
+  "tomcatv_walkthrough"
+  "tomcatv_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tomcatv_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zplc.dir/zplc.cpp.o"
+  "CMakeFiles/zplc.dir/zplc.cpp.o.d"
+  "zplc"
+  "zplc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zplc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

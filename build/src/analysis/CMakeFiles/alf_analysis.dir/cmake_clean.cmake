@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alf_analysis.dir/ASDG.cpp.o"
+  "CMakeFiles/alf_analysis.dir/ASDG.cpp.o.d"
+  "CMakeFiles/alf_analysis.dir/Footprint.cpp.o"
+  "CMakeFiles/alf_analysis.dir/Footprint.cpp.o.d"
+  "CMakeFiles/alf_analysis.dir/Liveness.cpp.o"
+  "CMakeFiles/alf_analysis.dir/Liveness.cpp.o.d"
+  "libalf_analysis.a"
+  "libalf_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alf_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

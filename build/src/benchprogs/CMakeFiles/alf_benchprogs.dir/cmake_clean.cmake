@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alf_benchprogs.dir/Benchmarks.cpp.o"
+  "CMakeFiles/alf_benchprogs.dir/Benchmarks.cpp.o.d"
+  "libalf_benchprogs.a"
+  "libalf_benchprogs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alf_benchprogs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for alf_benchprogs.
+# This may be replaced when dependencies are built.

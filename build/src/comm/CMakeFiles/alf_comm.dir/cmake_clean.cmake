@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alf_comm.dir/CommInsertion.cpp.o"
+  "CMakeFiles/alf_comm.dir/CommInsertion.cpp.o.d"
+  "libalf_comm.a"
+  "libalf_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alf_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

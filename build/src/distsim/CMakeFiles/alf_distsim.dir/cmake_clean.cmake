@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alf_distsim.dir/BlockDist.cpp.o"
+  "CMakeFiles/alf_distsim.dir/BlockDist.cpp.o.d"
+  "CMakeFiles/alf_distsim.dir/DistInterpreter.cpp.o"
+  "CMakeFiles/alf_distsim.dir/DistInterpreter.cpp.o.d"
+  "libalf_distsim.a"
+  "libalf_distsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alf_distsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alf_exec.dir/Interpreter.cpp.o"
+  "CMakeFiles/alf_exec.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/alf_exec.dir/MemoryAccounting.cpp.o"
+  "CMakeFiles/alf_exec.dir/MemoryAccounting.cpp.o.d"
+  "CMakeFiles/alf_exec.dir/PerfModel.cpp.o"
+  "CMakeFiles/alf_exec.dir/PerfModel.cpp.o.d"
+  "CMakeFiles/alf_exec.dir/Storage.cpp.o"
+  "CMakeFiles/alf_exec.dir/Storage.cpp.o.d"
+  "libalf_exec.a"
+  "libalf_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alf_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libalf_exec.a"
+)

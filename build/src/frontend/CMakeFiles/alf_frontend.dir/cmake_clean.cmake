@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alf_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/alf_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/alf_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/alf_frontend.dir/Parser.cpp.o.d"
+  "libalf_frontend.a"
+  "libalf_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alf_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/Align.cpp" "src/ir/CMakeFiles/alf_ir.dir/Align.cpp.o" "gcc" "src/ir/CMakeFiles/alf_ir.dir/Align.cpp.o.d"
+  "/root/repo/src/ir/Expr.cpp" "src/ir/CMakeFiles/alf_ir.dir/Expr.cpp.o" "gcc" "src/ir/CMakeFiles/alf_ir.dir/Expr.cpp.o.d"
+  "/root/repo/src/ir/Generator.cpp" "src/ir/CMakeFiles/alf_ir.dir/Generator.cpp.o" "gcc" "src/ir/CMakeFiles/alf_ir.dir/Generator.cpp.o.d"
+  "/root/repo/src/ir/Normalize.cpp" "src/ir/CMakeFiles/alf_ir.dir/Normalize.cpp.o" "gcc" "src/ir/CMakeFiles/alf_ir.dir/Normalize.cpp.o.d"
+  "/root/repo/src/ir/Offset.cpp" "src/ir/CMakeFiles/alf_ir.dir/Offset.cpp.o" "gcc" "src/ir/CMakeFiles/alf_ir.dir/Offset.cpp.o.d"
+  "/root/repo/src/ir/Program.cpp" "src/ir/CMakeFiles/alf_ir.dir/Program.cpp.o" "gcc" "src/ir/CMakeFiles/alf_ir.dir/Program.cpp.o.d"
+  "/root/repo/src/ir/Region.cpp" "src/ir/CMakeFiles/alf_ir.dir/Region.cpp.o" "gcc" "src/ir/CMakeFiles/alf_ir.dir/Region.cpp.o.d"
+  "/root/repo/src/ir/Stmt.cpp" "src/ir/CMakeFiles/alf_ir.dir/Stmt.cpp.o" "gcc" "src/ir/CMakeFiles/alf_ir.dir/Stmt.cpp.o.d"
+  "/root/repo/src/ir/Symbol.cpp" "src/ir/CMakeFiles/alf_ir.dir/Symbol.cpp.o" "gcc" "src/ir/CMakeFiles/alf_ir.dir/Symbol.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/ir/CMakeFiles/alf_ir.dir/Verifier.cpp.o" "gcc" "src/ir/CMakeFiles/alf_ir.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/alf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alf_ir.dir/Align.cpp.o"
+  "CMakeFiles/alf_ir.dir/Align.cpp.o.d"
+  "CMakeFiles/alf_ir.dir/Expr.cpp.o"
+  "CMakeFiles/alf_ir.dir/Expr.cpp.o.d"
+  "CMakeFiles/alf_ir.dir/Generator.cpp.o"
+  "CMakeFiles/alf_ir.dir/Generator.cpp.o.d"
+  "CMakeFiles/alf_ir.dir/Normalize.cpp.o"
+  "CMakeFiles/alf_ir.dir/Normalize.cpp.o.d"
+  "CMakeFiles/alf_ir.dir/Offset.cpp.o"
+  "CMakeFiles/alf_ir.dir/Offset.cpp.o.d"
+  "CMakeFiles/alf_ir.dir/Program.cpp.o"
+  "CMakeFiles/alf_ir.dir/Program.cpp.o.d"
+  "CMakeFiles/alf_ir.dir/Region.cpp.o"
+  "CMakeFiles/alf_ir.dir/Region.cpp.o.d"
+  "CMakeFiles/alf_ir.dir/Stmt.cpp.o"
+  "CMakeFiles/alf_ir.dir/Stmt.cpp.o.d"
+  "CMakeFiles/alf_ir.dir/Symbol.cpp.o"
+  "CMakeFiles/alf_ir.dir/Symbol.cpp.o.d"
+  "CMakeFiles/alf_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/alf_ir.dir/Verifier.cpp.o.d"
+  "libalf_ir.a"
+  "libalf_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alf_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

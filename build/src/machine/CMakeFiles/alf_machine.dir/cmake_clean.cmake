@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alf_machine.dir/CacheSim.cpp.o"
+  "CMakeFiles/alf_machine.dir/CacheSim.cpp.o.d"
+  "CMakeFiles/alf_machine.dir/Machine.cpp.o"
+  "CMakeFiles/alf_machine.dir/Machine.cpp.o.d"
+  "libalf_machine.a"
+  "libalf_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alf_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

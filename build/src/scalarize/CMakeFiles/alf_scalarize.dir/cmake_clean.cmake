@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alf_scalarize.dir/CEmitter.cpp.o"
+  "CMakeFiles/alf_scalarize.dir/CEmitter.cpp.o.d"
+  "CMakeFiles/alf_scalarize.dir/FortranEmitter.cpp.o"
+  "CMakeFiles/alf_scalarize.dir/FortranEmitter.cpp.o.d"
+  "CMakeFiles/alf_scalarize.dir/LoopIR.cpp.o"
+  "CMakeFiles/alf_scalarize.dir/LoopIR.cpp.o.d"
+  "CMakeFiles/alf_scalarize.dir/Scalarize.cpp.o"
+  "CMakeFiles/alf_scalarize.dir/Scalarize.cpp.o.d"
+  "libalf_scalarize.a"
+  "libalf_scalarize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alf_scalarize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alf_support.dir/ErrorHandling.cpp.o"
+  "CMakeFiles/alf_support.dir/ErrorHandling.cpp.o.d"
+  "CMakeFiles/alf_support.dir/Statistic.cpp.o"
+  "CMakeFiles/alf_support.dir/Statistic.cpp.o.d"
+  "CMakeFiles/alf_support.dir/StringUtil.cpp.o"
+  "CMakeFiles/alf_support.dir/StringUtil.cpp.o.d"
+  "CMakeFiles/alf_support.dir/TextTable.cpp.o"
+  "CMakeFiles/alf_support.dir/TextTable.cpp.o.d"
+  "libalf_support.a"
+  "libalf_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alf_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

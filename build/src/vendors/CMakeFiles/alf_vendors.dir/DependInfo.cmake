@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vendors/CompilerModel.cpp" "src/vendors/CMakeFiles/alf_vendors.dir/CompilerModel.cpp.o" "gcc" "src/vendors/CMakeFiles/alf_vendors.dir/CompilerModel.cpp.o.d"
+  "/root/repo/src/vendors/Fragments.cpp" "src/vendors/CMakeFiles/alf_vendors.dir/Fragments.cpp.o" "gcc" "src/vendors/CMakeFiles/alf_vendors.dir/Fragments.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xform/CMakeFiles/alf_xform.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/alf_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/alf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/alf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

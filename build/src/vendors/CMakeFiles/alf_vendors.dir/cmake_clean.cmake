@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alf_vendors.dir/CompilerModel.cpp.o"
+  "CMakeFiles/alf_vendors.dir/CompilerModel.cpp.o.d"
+  "CMakeFiles/alf_vendors.dir/Fragments.cpp.o"
+  "CMakeFiles/alf_vendors.dir/Fragments.cpp.o.d"
+  "libalf_vendors.a"
+  "libalf_vendors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alf_vendors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

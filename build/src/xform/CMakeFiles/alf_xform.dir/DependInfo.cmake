@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xform/Fusion.cpp" "src/xform/CMakeFiles/alf_xform.dir/Fusion.cpp.o" "gcc" "src/xform/CMakeFiles/alf_xform.dir/Fusion.cpp.o.d"
+  "/root/repo/src/xform/FusionPartition.cpp" "src/xform/CMakeFiles/alf_xform.dir/FusionPartition.cpp.o" "gcc" "src/xform/CMakeFiles/alf_xform.dir/FusionPartition.cpp.o.d"
+  "/root/repo/src/xform/LoopStructure.cpp" "src/xform/CMakeFiles/alf_xform.dir/LoopStructure.cpp.o" "gcc" "src/xform/CMakeFiles/alf_xform.dir/LoopStructure.cpp.o.d"
+  "/root/repo/src/xform/PartialContraction.cpp" "src/xform/CMakeFiles/alf_xform.dir/PartialContraction.cpp.o" "gcc" "src/xform/CMakeFiles/alf_xform.dir/PartialContraction.cpp.o.d"
+  "/root/repo/src/xform/Report.cpp" "src/xform/CMakeFiles/alf_xform.dir/Report.cpp.o" "gcc" "src/xform/CMakeFiles/alf_xform.dir/Report.cpp.o.d"
+  "/root/repo/src/xform/StatementMerge.cpp" "src/xform/CMakeFiles/alf_xform.dir/StatementMerge.cpp.o" "gcc" "src/xform/CMakeFiles/alf_xform.dir/StatementMerge.cpp.o.d"
+  "/root/repo/src/xform/Strategy.cpp" "src/xform/CMakeFiles/alf_xform.dir/Strategy.cpp.o" "gcc" "src/xform/CMakeFiles/alf_xform.dir/Strategy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/alf_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/alf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/alf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alf_xform.dir/Fusion.cpp.o"
+  "CMakeFiles/alf_xform.dir/Fusion.cpp.o.d"
+  "CMakeFiles/alf_xform.dir/FusionPartition.cpp.o"
+  "CMakeFiles/alf_xform.dir/FusionPartition.cpp.o.d"
+  "CMakeFiles/alf_xform.dir/LoopStructure.cpp.o"
+  "CMakeFiles/alf_xform.dir/LoopStructure.cpp.o.d"
+  "CMakeFiles/alf_xform.dir/PartialContraction.cpp.o"
+  "CMakeFiles/alf_xform.dir/PartialContraction.cpp.o.d"
+  "CMakeFiles/alf_xform.dir/Report.cpp.o"
+  "CMakeFiles/alf_xform.dir/Report.cpp.o.d"
+  "CMakeFiles/alf_xform.dir/StatementMerge.cpp.o"
+  "CMakeFiles/alf_xform.dir/StatementMerge.cpp.o.d"
+  "CMakeFiles/alf_xform.dir/Strategy.cpp.o"
+  "CMakeFiles/alf_xform.dir/Strategy.cpp.o.d"
+  "libalf_xform.a"
+  "libalf_xform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alf_xform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "ASDGTest"
+  "ASDGTest.pdb"
+  "ASDGTest[1]_tests.cmake"
+  "CMakeFiles/ASDGTest.dir/ASDGTest.cpp.o"
+  "CMakeFiles/ASDGTest.dir/ASDGTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ASDGTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

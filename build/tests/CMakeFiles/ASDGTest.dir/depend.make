@@ -1,0 +1,2 @@
+# Empty dependencies file for ASDGTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "AlignTest"
+  "AlignTest.pdb"
+  "AlignTest[1]_tests.cmake"
+  "CMakeFiles/AlignTest.dir/AlignTest.cpp.o"
+  "CMakeFiles/AlignTest.dir/AlignTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/AlignTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

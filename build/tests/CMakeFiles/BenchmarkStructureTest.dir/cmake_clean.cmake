@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "BenchmarkStructureTest"
+  "BenchmarkStructureTest.pdb"
+  "BenchmarkStructureTest[1]_tests.cmake"
+  "CMakeFiles/BenchmarkStructureTest.dir/BenchmarkStructureTest.cpp.o"
+  "CMakeFiles/BenchmarkStructureTest.dir/BenchmarkStructureTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/BenchmarkStructureTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "BenchmarkTest"
+  "BenchmarkTest.pdb"
+  "BenchmarkTest[1]_tests.cmake"
+  "CMakeFiles/BenchmarkTest.dir/BenchmarkTest.cpp.o"
+  "CMakeFiles/BenchmarkTest.dir/BenchmarkTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/BenchmarkTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

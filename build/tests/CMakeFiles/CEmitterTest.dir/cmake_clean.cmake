@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CEmitterTest"
+  "CEmitterTest.pdb"
+  "CEmitterTest[1]_tests.cmake"
+  "CMakeFiles/CEmitterTest.dir/CEmitterTest.cpp.o"
+  "CMakeFiles/CEmitterTest.dir/CEmitterTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/CEmitterTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

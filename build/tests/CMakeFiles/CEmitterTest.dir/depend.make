@@ -1,0 +1,2 @@
+# Empty dependencies file for CEmitterTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/CommPlanTest.dir/CommPlanTest.cpp.o"
+  "CMakeFiles/CommPlanTest.dir/CommPlanTest.cpp.o.d"
+  "CommPlanTest"
+  "CommPlanTest.pdb"
+  "CommPlanTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/CommPlanTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

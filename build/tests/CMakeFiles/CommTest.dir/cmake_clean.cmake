@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/CommTest.dir/CommTest.cpp.o"
+  "CMakeFiles/CommTest.dir/CommTest.cpp.o.d"
+  "CommTest"
+  "CommTest.pdb"
+  "CommTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/CommTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/DistSimTest.dir/DistSimTest.cpp.o"
+  "CMakeFiles/DistSimTest.dir/DistSimTest.cpp.o.d"
+  "DistSimTest"
+  "DistSimTest.pdb"
+  "DistSimTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/DistSimTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ExprTest.dir/ExprTest.cpp.o"
+  "CMakeFiles/ExprTest.dir/ExprTest.cpp.o.d"
+  "ExprTest"
+  "ExprTest.pdb"
+  "ExprTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ExprTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

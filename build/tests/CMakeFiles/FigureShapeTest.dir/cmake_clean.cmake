@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/FigureShapeTest.dir/FigureShapeTest.cpp.o"
+  "CMakeFiles/FigureShapeTest.dir/FigureShapeTest.cpp.o.d"
+  "FigureShapeTest"
+  "FigureShapeTest.pdb"
+  "FigureShapeTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/FigureShapeTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

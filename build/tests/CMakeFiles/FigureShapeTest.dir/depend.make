@@ -1,0 +1,2 @@
+# Empty dependencies file for FigureShapeTest.
+# This may be replaced when dependencies are built.

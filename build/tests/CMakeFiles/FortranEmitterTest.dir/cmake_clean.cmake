@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/FortranEmitterTest.dir/FortranEmitterTest.cpp.o"
+  "CMakeFiles/FortranEmitterTest.dir/FortranEmitterTest.cpp.o.d"
+  "FortranEmitterTest"
+  "FortranEmitterTest.pdb"
+  "FortranEmitterTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/FortranEmitterTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

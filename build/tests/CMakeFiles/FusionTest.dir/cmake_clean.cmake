@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/FusionTest.dir/FusionTest.cpp.o"
+  "CMakeFiles/FusionTest.dir/FusionTest.cpp.o.d"
+  "FusionTest"
+  "FusionTest.pdb"
+  "FusionTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/FusionTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

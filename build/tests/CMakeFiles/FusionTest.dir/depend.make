@@ -1,0 +1,2 @@
+# Empty dependencies file for FusionTest.
+# This may be replaced when dependencies are built.

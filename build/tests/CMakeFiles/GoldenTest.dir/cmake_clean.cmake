@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/GoldenTest.dir/GoldenTest.cpp.o"
+  "CMakeFiles/GoldenTest.dir/GoldenTest.cpp.o.d"
+  "GoldenTest"
+  "GoldenTest.pdb"
+  "GoldenTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/GoldenTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

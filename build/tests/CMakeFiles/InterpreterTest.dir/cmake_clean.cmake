@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/InterpreterTest.dir/InterpreterTest.cpp.o"
+  "CMakeFiles/InterpreterTest.dir/InterpreterTest.cpp.o.d"
+  "InterpreterTest"
+  "InterpreterTest.pdb"
+  "InterpreterTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/InterpreterTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

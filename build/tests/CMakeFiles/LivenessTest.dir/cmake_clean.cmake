@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/LivenessTest.dir/LivenessTest.cpp.o"
+  "CMakeFiles/LivenessTest.dir/LivenessTest.cpp.o.d"
+  "LivenessTest"
+  "LivenessTest.pdb"
+  "LivenessTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/LivenessTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/LoopStructureCompletenessTest.dir/LoopStructureCompletenessTest.cpp.o"
+  "CMakeFiles/LoopStructureCompletenessTest.dir/LoopStructureCompletenessTest.cpp.o.d"
+  "LoopStructureCompletenessTest"
+  "LoopStructureCompletenessTest.pdb"
+  "LoopStructureCompletenessTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/LoopStructureCompletenessTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/LoopStructureTest.dir/LoopStructureTest.cpp.o"
+  "CMakeFiles/LoopStructureTest.dir/LoopStructureTest.cpp.o.d"
+  "LoopStructureTest"
+  "LoopStructureTest.pdb"
+  "LoopStructureTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/LoopStructureTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

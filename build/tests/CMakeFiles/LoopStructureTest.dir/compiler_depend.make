@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for LoopStructureTest.
+# This may be replaced when dependencies are built.

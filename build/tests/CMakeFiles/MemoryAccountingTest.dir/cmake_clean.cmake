@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/MemoryAccountingTest.dir/MemoryAccountingTest.cpp.o"
+  "CMakeFiles/MemoryAccountingTest.dir/MemoryAccountingTest.cpp.o.d"
+  "MemoryAccountingTest"
+  "MemoryAccountingTest.pdb"
+  "MemoryAccountingTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/MemoryAccountingTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/OffsetRegionTest.dir/OffsetRegionTest.cpp.o"
+  "CMakeFiles/OffsetRegionTest.dir/OffsetRegionTest.cpp.o.d"
+  "OffsetRegionTest"
+  "OffsetRegionTest.pdb"
+  "OffsetRegionTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/OffsetRegionTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

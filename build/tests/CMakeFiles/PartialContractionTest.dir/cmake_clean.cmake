@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/PartialContractionTest.dir/PartialContractionTest.cpp.o"
+  "CMakeFiles/PartialContractionTest.dir/PartialContractionTest.cpp.o.d"
+  "PartialContractionTest"
+  "PartialContractionTest.pdb"
+  "PartialContractionTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/PartialContractionTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/PerfModelTest.dir/PerfModelTest.cpp.o"
+  "CMakeFiles/PerfModelTest.dir/PerfModelTest.cpp.o.d"
+  "PerfModelTest"
+  "PerfModelTest.pdb"
+  "PerfModelTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/PerfModelTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

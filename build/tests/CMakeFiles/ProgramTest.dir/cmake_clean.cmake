@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ProgramTest.dir/ProgramTest.cpp.o"
+  "CMakeFiles/ProgramTest.dir/ProgramTest.cpp.o.d"
+  "ProgramTest"
+  "ProgramTest.pdb"
+  "ProgramTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ProgramTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ProgramTest.
+# This may be replaced when dependencies are built.

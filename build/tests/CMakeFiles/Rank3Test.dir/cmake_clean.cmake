@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/Rank3Test.dir/Rank3Test.cpp.o"
+  "CMakeFiles/Rank3Test.dir/Rank3Test.cpp.o.d"
+  "Rank3Test"
+  "Rank3Test.pdb"
+  "Rank3Test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/Rank3Test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for Rank3Test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ReduceTest.dir/ReduceTest.cpp.o"
+  "CMakeFiles/ReduceTest.dir/ReduceTest.cpp.o.d"
+  "ReduceTest"
+  "ReduceTest.pdb"
+  "ReduceTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ReduceTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

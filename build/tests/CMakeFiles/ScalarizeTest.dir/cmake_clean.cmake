@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ScalarizeTest.dir/ScalarizeTest.cpp.o"
+  "CMakeFiles/ScalarizeTest.dir/ScalarizeTest.cpp.o.d"
+  "ScalarizeTest"
+  "ScalarizeTest.pdb"
+  "ScalarizeTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ScalarizeTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

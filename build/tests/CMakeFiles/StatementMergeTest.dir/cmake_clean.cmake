@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/StatementMergeTest.dir/StatementMergeTest.cpp.o"
+  "CMakeFiles/StatementMergeTest.dir/StatementMergeTest.cpp.o.d"
+  "StatementMergeTest"
+  "StatementMergeTest.pdb"
+  "StatementMergeTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/StatementMergeTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

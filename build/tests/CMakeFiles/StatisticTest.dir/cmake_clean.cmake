@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/StatisticTest.dir/StatisticTest.cpp.o"
+  "CMakeFiles/StatisticTest.dir/StatisticTest.cpp.o.d"
+  "StatisticTest"
+  "StatisticTest.pdb"
+  "StatisticTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/StatisticTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

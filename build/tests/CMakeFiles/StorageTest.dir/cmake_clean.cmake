@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/StorageTest.dir/StorageTest.cpp.o"
+  "CMakeFiles/StorageTest.dir/StorageTest.cpp.o.d"
+  "StorageTest"
+  "StorageTest.pdb"
+  "StorageTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/StorageTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

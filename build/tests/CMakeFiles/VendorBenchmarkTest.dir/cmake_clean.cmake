@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/VendorBenchmarkTest.dir/VendorBenchmarkTest.cpp.o"
+  "CMakeFiles/VendorBenchmarkTest.dir/VendorBenchmarkTest.cpp.o.d"
+  "VendorBenchmarkTest"
+  "VendorBenchmarkTest.pdb"
+  "VendorBenchmarkTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/VendorBenchmarkTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/VendorTest.dir/VendorTest.cpp.o"
+  "CMakeFiles/VendorTest.dir/VendorTest.cpp.o.d"
+  "VendorTest"
+  "VendorTest.pdb"
+  "VendorTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/VendorTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alf_stress.dir/alf_stress.cpp.o"
+  "CMakeFiles/alf_stress.dir/alf_stress.cpp.o.d"
+  "alf_stress"
+  "alf_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alf_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
