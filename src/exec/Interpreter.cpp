@@ -2,183 +2,22 @@
 
 #include "exec/Interpreter.h"
 
-#include "support/ErrorHandling.h"
+#include "exec/Eval.h"
+#include "support/Casting.h"
 #include "support/StringUtil.h"
 
 #include <cmath>
 
 using namespace alf;
-using namespace alf::analysis;
 using namespace alf::exec;
 using namespace alf::ir;
 using namespace alf::lir;
 
-namespace {
-
-/// Execution context shared by all nodes of one run. Scalars — program
-/// parameters, reduction accumulators and contracted arrays' replacements
-/// alike — live in the Storage scalar environment (symbol ids are unique
-/// across both populations).
-struct ExecContext {
-  Storage Store;
-  const LoopProgram *LP = nullptr;
-
-  double readScalar(const ScalarSymbol *S) const {
-    return Store.getScalar(S);
-  }
-
-  /// Maps absolute coordinates into a partially contracted array's
-  /// rolling buffer; identity for fully allocated arrays.
-  void wrapCoords(const ArraySymbol *A, std::vector<int64_t> &At) const {
-    const xform::PartialPlan *Plan = LP->partialPlanFor(A);
-    if (!Plan)
-      return;
-    for (unsigned D = 0; D < At.size(); ++D)
-      At[D] = Plan->wrap(D, At[D]);
-  }
-};
-
-double evalExpr(const Expr *E, ExecContext &Ctx,
-                const std::vector<int64_t> &Idx) {
-  if (const auto *C = dyn_cast<ConstExpr>(E))
-    return C->getValue();
-  if (const auto *S = dyn_cast<ScalarRefExpr>(E))
-    return Ctx.readScalar(S->getSymbol());
-  if (const auto *A = dyn_cast<ArrayRefExpr>(E)) {
-    const ArrayBuffer *Buf = Ctx.Store.buffer(A->getSymbol());
-    if (!Buf)
-      alf_unreachable("read of an array without storage");
-    std::vector<int64_t> At(Idx.size());
-    for (unsigned D = 0; D < Idx.size(); ++D)
-      At[D] = Idx[D] + A->getOffset()[D];
-    Ctx.wrapCoords(A->getSymbol(), At);
-    return Buf->load(At);
-  }
-  if (const auto *U = dyn_cast<UnaryExpr>(E))
-    return UnaryExpr::evaluate(U->getOpcode(),
-                               evalExpr(U->getOperand(), Ctx, Idx));
-  const auto *B = cast<BinaryExpr>(E);
-  return BinaryExpr::evaluate(B->getOpcode(), evalExpr(B->getLHS(), Ctx, Idx),
-                              evalExpr(B->getRHS(), Ctx, Idx));
-}
-
-void execScalarStmt(const ScalarStmt &S, ExecContext &Ctx,
-                    const std::vector<int64_t> &Idx) {
-  double V = evalExpr(S.RHS.get(), Ctx, Idx);
-  if (S.LHS.isScalar()) {
-    if (S.Accumulate)
-      V = ReduceStmt::combine(S.AccOp, Ctx.Store.getScalar(S.LHS.Scalar), V);
-    Ctx.Store.setScalar(S.LHS.Scalar, V);
-    return;
-  }
-  ArrayBuffer *Buf = Ctx.Store.buffer(S.LHS.Array);
-  if (!Buf)
-    alf_unreachable("write to an array without storage");
-  std::vector<int64_t> At(Idx.size());
-  for (unsigned D = 0; D < Idx.size(); ++D)
-    At[D] = Idx[D] + S.LHS.Off[D];
-  Ctx.wrapCoords(S.LHS.Array, At);
-  Buf->store(At, V);
-}
-
-/// Runs \p Body for every point of \p R in the order given by \p LSV.
-void iterateNest(const LoopNest &Nest, ExecContext &Ctx) {
-  const Region &R = *Nest.R;
-  unsigned Rank = R.rank();
-  std::vector<int64_t> Idx(Rank);
-
-  // Recursive descent over the loops, outermost first.
-  for (const auto &[Acc, Init] : Nest.ScalarInits)
-    Ctx.Store.setScalar(Acc, Init);
-
-  std::function<void(unsigned)> RunLoop = [&](unsigned Loop) {
-    if (Loop == Rank) {
-      for (const ScalarStmt &S : Nest.Body)
-        execScalarStmt(S, Ctx, Idx);
-      return;
-    }
-    unsigned Dim = Nest.LSV.dimOf(Loop);
-    if (Nest.LSV.dirOf(Loop) > 0) {
-      for (int64_t I = R.lo(Dim); I <= R.hi(Dim); ++I) {
-        Idx[Dim] = I;
-        RunLoop(Loop + 1);
-      }
-    } else {
-      for (int64_t I = R.hi(Dim); I >= R.lo(Dim); --I) {
-        Idx[Dim] = I;
-        RunLoop(Loop + 1);
-      }
-    }
-  };
-  RunLoop(0);
-}
-
-/// Deterministic element-wise semantics for opaque statements: every
-/// write array's element becomes 1 + 0.5 * (sum of read arrays' elements
-/// + sum of read scalars) + the ordinal of the write array; scalar writes
-/// receive the region average of the same value.
-void execOpaque(const OpaqueStmt &O, ExecContext &Ctx) {
-  const Region *R = O.getRegion();
-  if (!R) {
-    double V = 1.0;
-    for (const ScalarSymbol *S : O.scalarReads())
-      V += 0.5 * Ctx.readScalar(S);
-    unsigned Ordinal = 0;
-    for (const ScalarSymbol *S : O.scalarWrites())
-      Ctx.Store.setScalar(S, V + Ordinal++);
-    return;
-  }
-
-  double ScalarBase = 1.0;
-  for (const ScalarSymbol *S : O.scalarReads())
-    ScalarBase += 0.5 * Ctx.readScalar(S);
-
-  std::vector<double> ScalarAccum(O.scalarWrites().size(), 0.0);
-  std::vector<int64_t> Idx(R->rank());
-  std::function<void(unsigned)> Walk = [&](unsigned D) {
-    if (D == R->rank()) {
-      double V = ScalarBase;
-      for (const ArraySymbol *A : O.arrayReads())
-        if (const ArrayBuffer *Buf = Ctx.Store.buffer(A))
-          if (Buf->bounds().rank() == Idx.size())
-            V += 0.5 * Buf->load(Idx);
-      unsigned Ordinal = 0;
-      for (const ArraySymbol *A : O.arrayWrites())
-        if (ArrayBuffer *Buf = Ctx.Store.buffer(A))
-          if (Buf->bounds().rank() == Idx.size())
-            Buf->store(Idx, V + Ordinal++);
-      for (double &Acc : ScalarAccum)
-        Acc += V;
-      return;
-    }
-    for (int64_t I = R->lo(D); I <= R->hi(D); ++I) {
-      Idx[D] = I;
-      Walk(D + 1);
-    }
-  };
-  Walk(0);
-
-  double Scale = 1.0 / static_cast<double>(R->size());
-  for (size_t I = 0; I < O.scalarWrites().size(); ++I)
-    Ctx.Store.setScalar(O.scalarWrites()[I], ScalarAccum[I] * Scale);
-}
-
-} // namespace
-
 RunResult exec::run(const LoopProgram &LP, uint64_t Seed) {
-  const Program &P = LP.source();
-  FootprintInfo FI = FootprintInfo::compute(P);
-
-  ExecContext Ctx;
+  Storage Store = allocateStorage(LP, Seed);
+  EvalContext Ctx;
+  Ctx.Store = &Store;
   Ctx.LP = &LP;
-  Ctx.Store = Storage::allocate(
-      P, FI, Seed,
-      [&LP](const ArraySymbol *A) { return !LP.isContracted(A); },
-      [&LP](const ArraySymbol *A) -> std::optional<Region> {
-        if (const xform::PartialPlan *Plan = LP.partialPlanFor(A))
-          return Plan->bufferRegion();
-        return std::nullopt;
-      });
 
   for (const auto &NodePtr : LP.nodes()) {
     if (const auto *Nest = dyn_cast<LoopNest>(NodePtr.get())) {
@@ -187,20 +26,9 @@ RunResult exec::run(const LoopProgram &LP, uint64_t Seed) {
     }
     if (isa<CommOp>(NodePtr.get()))
       continue; // single address space: halo exchange is a no-op
-    execOpaque(*cast<OpaqueOp>(NodePtr.get())->Src, Ctx);
+    execOpaqueStmt(*cast<OpaqueOp>(NodePtr.get())->Src, Ctx);
   }
-
-  RunResult Result;
-  for (const ArraySymbol *A : P.arrays()) {
-    if (!A->isLiveOut())
-      continue;
-    if (const ArrayBuffer *Buf = Ctx.Store.buffer(A))
-      Result.LiveOut.emplace(A->getName(), Buf->raw());
-  }
-  for (const Symbol *Sym : P.symbols())
-    if (const auto *Sc = dyn_cast<ScalarSymbol>(Sym))
-      Result.ScalarsOut.emplace(Sc->getName(), Ctx.Store.getScalar(Sc));
-  return Result;
+  return collectResults(LP, Store);
 }
 
 bool exec::resultsMatch(const RunResult &A, const RunResult &B, double Tol,

@@ -111,6 +111,10 @@ public:
     Scalars[S->getId()] = V;
   }
 
+  /// Sets a scalar by raw symbol id (the parallel executor merges
+  /// thread-private overlay entries back by id).
+  void setScalarById(unsigned Id, double V) { Scalars[Id] = V; }
+
   /// Total bytes of array storage allocated.
   uint64_t totalBytes() const { return TotalBytes; }
 };

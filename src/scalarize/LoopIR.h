@@ -91,6 +91,13 @@ public:
   std::vector<std::pair<const ir::ScalarSymbol *, double>> ScalarInits;
   unsigned ClusterId = 0;
 
+  /// The unconstrained distance vectors of all dependences internal to
+  /// the cluster (the inputs FIND-LOOP-STRUCTURE ran on). Retained so
+  /// downstream consumers — parallelization legality above all — can
+  /// reason about which loops carry dependences without re-deriving the
+  /// fusion partition.
+  std::vector<ir::Offset> UDVs;
+
   LoopNest() : LNode(LNodeKind::Loop) {}
 
   static bool classof(const LNode *N) {

@@ -120,6 +120,7 @@ lir::LoopProgram scalarize::scalarize(const ASDG &G, const StrategyResult &SR) {
     if (!LSV)
       alf_unreachable("no loop structure vector for a fusible cluster");
     Nest->LSV = *LSV;
+    Nest->UDVs = *UDVs;
 
     // Emit the body, rewriting contracted arrays to scalars.
     auto RewriteContracted = [&LP](const ArrayRefExpr &Ref) -> ExprPtr {

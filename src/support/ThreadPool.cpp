@@ -1,0 +1,87 @@
+//===- support/ThreadPool.cpp - Static-partition thread pool ----------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace alf;
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads == 0)
+    NumThreads = std::max(1u, std::thread::hardware_concurrency());
+  NumWorkers = NumThreads;
+  Workers.reserve(NumWorkers - 1);
+  for (unsigned W = 1; W < NumWorkers; ++W)
+    Workers.emplace_back([this, W] { workerLoop(W); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  JobReady.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+bool ThreadPool::chunkBounds(int64_t Begin, int64_t End, unsigned NumChunks,
+                             unsigned Chunk, int64_t &Lo, int64_t &Hi) {
+  int64_t Size = End - Begin;
+  if (Size <= 0 || Chunk >= NumChunks)
+    return false;
+  // Block partition: chunk i covers [Begin + i*Size/n, Begin + (i+1)*Size/n).
+  Lo = Begin + Size * static_cast<int64_t>(Chunk) /
+                   static_cast<int64_t>(NumChunks);
+  int64_t Next = Begin + Size * (static_cast<int64_t>(Chunk) + 1) /
+                     static_cast<int64_t>(NumChunks);
+  Hi = Next - 1;
+  return Lo <= Hi;
+}
+
+void ThreadPool::runChunk(unsigned Worker) {
+  int64_t Lo, Hi;
+  if (chunkBounds(JobBegin, JobEnd, NumWorkers, Worker, Lo, Hi))
+    (*JobBody)(Lo, Hi + 1, Worker);
+}
+
+void ThreadPool::workerLoop(unsigned Worker) {
+  uint64_t SeenGeneration = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      JobReady.wait(Lock, [&] { return Stopping || Generation != SeenGeneration; });
+      if (Stopping)
+        return;
+      SeenGeneration = Generation;
+    }
+    runChunk(Worker);
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (--Remaining == 0)
+        JobDone.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallelFor(int64_t Begin, int64_t End, const ChunkBody &Body) {
+  if (Begin >= End)
+    return;
+  if (NumWorkers == 1) {
+    Body(Begin, End, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    JobBegin = Begin;
+    JobEnd = End;
+    JobBody = &Body;
+    Remaining = NumWorkers - 1;
+    ++Generation;
+  }
+  JobReady.notify_all();
+  runChunk(0); // the calling thread owns chunk 0
+  std::unique_lock<std::mutex> Lock(Mutex);
+  JobDone.wait(Lock, [&] { return Remaining == 0; });
+  JobBody = nullptr;
+}

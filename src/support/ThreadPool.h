@@ -1,0 +1,91 @@
+//===- support/ThreadPool.h - Static-partition thread pool -----*- C++ -*-===//
+//
+// Part of the ALF project: array-level fusion and contraction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, work-stealing-free thread pool built around one primitive:
+/// `parallelFor`, which splits a half-open index range into one
+/// contiguous chunk per worker and blocks until every chunk has run.
+/// The static block partition keeps tile ownership deterministic (worker
+/// i always owns the i-th chunk), which the parallel executor relies on
+/// for bit-identical results and for per-thread contraction storage.
+/// The calling thread participates as worker 0, so a pool of size 1
+/// spawns no threads and degenerates to a plain sequential loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALF_SUPPORT_THREADPOOL_H
+#define ALF_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace alf {
+
+/// A persistent pool of `numThreads() - 1` background workers plus the
+/// calling thread. Jobs are dispatched by `parallelFor`; the pool is
+/// reused across calls so tile-with-barriers execution (one dispatch per
+/// sequential outer iteration) does not pay thread creation per barrier.
+/// Not reentrant: `parallelFor` must not be called from inside a body.
+class ThreadPool {
+public:
+  /// A chunk body: [ChunkBegin, ChunkEnd) and the worker index running it
+  /// (0 = the calling thread, workers are numbered densely).
+  using ChunkBody = std::function<void(int64_t ChunkBegin, int64_t ChunkEnd,
+                                       unsigned Worker)>;
+
+  /// Creates a pool of \p NumThreads workers; 0 means
+  /// std::thread::hardware_concurrency() (at least 1).
+  explicit ThreadPool(unsigned NumThreads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned numThreads() const { return NumWorkers; }
+
+  /// Splits [Begin, End) into numThreads() contiguous chunks (worker i
+  /// gets the i-th chunk in index order; trailing chunks may be empty
+  /// when the range is short) and runs them concurrently. Blocks until
+  /// all chunks complete. Runs \p Body inline when the pool has a single
+  /// worker.
+  void parallelFor(int64_t Begin, int64_t End, const ChunkBody &Body);
+
+  /// The inclusive sub-range [Lo..Hi] of chunk \p Chunk when [Begin, End)
+  /// is block-partitioned into \p NumChunks pieces; returns false when the
+  /// chunk is empty. Exposed so callers can reason about chunk ownership
+  /// (e.g. which worker runs the last iteration) without duplicating the
+  /// partition arithmetic.
+  static bool chunkBounds(int64_t Begin, int64_t End, unsigned NumChunks,
+                          unsigned Chunk, int64_t &Lo, int64_t &Hi);
+
+private:
+  void workerLoop(unsigned Worker);
+  void runChunk(unsigned Worker);
+
+  unsigned NumWorkers = 1;
+  std::vector<std::thread> Workers;
+
+  std::mutex Mutex;
+  std::condition_variable JobReady;
+  std::condition_variable JobDone;
+  uint64_t Generation = 0; ///< bumped per parallelFor; workers wait on it
+  unsigned Remaining = 0;  ///< background workers still running the job
+  bool Stopping = false;
+
+  // The in-flight job (valid while Remaining > 0 or the caller is in
+  // parallelFor).
+  int64_t JobBegin = 0;
+  int64_t JobEnd = 0;
+  const ChunkBody *JobBody = nullptr;
+};
+
+} // namespace alf
+
+#endif // ALF_SUPPORT_THREADPOOL_H

@@ -1,0 +1,80 @@
+//===- xform/Parallelize.cpp - UDV-based parallelization legality -----------===//
+
+#include "xform/Parallelize.h"
+
+#include "support/StringUtil.h"
+
+using namespace alf;
+using namespace alf::ir;
+using namespace alf::xform;
+
+const char *xform::getParallelDecisionName(ParallelDecision D) {
+  switch (D) {
+  case ParallelDecision::OuterParallel:
+    return "outer-parallel";
+  case ParallelDecision::InnerParallel:
+    return "inner-parallel";
+  case ParallelDecision::SeqReduction:
+    return "seq-reduction";
+  case ParallelDecision::SeqCarried:
+    return "seq-carried";
+  case ParallelDecision::SeqNoLoops:
+    return "seq-no-loops";
+  }
+  return "?";
+}
+
+bool xform::isLoopParallelizable(const LoopStructureVector &LSV,
+                                 const std::vector<Offset> &UDVs,
+                                 unsigned Loop) {
+  for (const Offset &U : UDVs) {
+    Offset D = constrain(U, LSV);
+    bool CarriedOuter = false;
+    for (unsigned J = 0; J < Loop && !CarriedOuter; ++J)
+      CarriedOuter = D[J] != 0;
+    if (!CarriedOuter && D[Loop] != 0)
+      return false;
+  }
+  return true;
+}
+
+NestParallelPlan xform::analyzeNestParallelism(const NestParallelInput &In) {
+  NestParallelPlan Plan;
+  unsigned Rank = In.LSV.rank();
+  if (Rank == 0) {
+    Plan.Decision = ParallelDecision::SeqNoLoops;
+    Plan.Reason = "nest has no loops";
+    return Plan;
+  }
+  if (In.HasReduction) {
+    Plan.Decision = ParallelDecision::SeqReduction;
+    Plan.Reason = "scalar reduction accumulator is carried by every loop "
+                  "(splitting it would reassociate floating point)";
+    return Plan;
+  }
+  for (unsigned Loop = 0; Loop < Rank; ++Loop) {
+    unsigned Dim = In.LSV.dimOf(Loop);
+    if (Dim < In.WrappedDims.size() && In.WrappedDims[Dim])
+      continue; // modulo-indexed rolling buffer aliases this dimension
+    if (!isLoopParallelizable(In.LSV, In.UDVs, Loop))
+      continue;
+    Plan.ParallelLoop = static_cast<int>(Loop);
+    if (Loop == 0) {
+      Plan.Decision = ParallelDecision::OuterParallel;
+      Plan.Reason = formatString(
+          "no dependence carried by the outermost loop (dimension %u)",
+          Dim + 1);
+    } else {
+      Plan.Decision = ParallelDecision::InnerParallel;
+      Plan.Reason = formatString(
+          "outer loops carry dependences; loop %u (dimension %u) runs "
+          "parallel with a barrier per outer iteration",
+          Loop + 1, Dim + 1);
+    }
+    return Plan;
+  }
+  Plan.Decision = ParallelDecision::SeqCarried;
+  Plan.Reason =
+      "every loop either carries a dependence or indexes a rolling buffer";
+  return Plan;
+}

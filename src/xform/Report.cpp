@@ -130,3 +130,20 @@ std::string xform::contractionReport(const StrategyResult &SR) {
   }
   return Out;
 }
+
+std::string
+xform::parallelismReport(const std::vector<NestParallelSummary> &Nests) {
+  std::string Out;
+  for (const NestParallelSummary &N : Nests) {
+    std::string Where =
+        N.Plan.isParallel()
+            ? formatString("loop %d", N.Plan.ParallelLoop + 1)
+            : std::string("-");
+    Out += formatString("nest %-4u %-10s %8lld pts  %-15s %-7s %s\n",
+                        N.ClusterId, N.LSV.c_str(),
+                        static_cast<long long>(N.Points),
+                        getParallelDecisionName(N.Plan.Decision),
+                        Where.c_str(), N.Plan.Reason.c_str());
+  }
+  return Out;
+}

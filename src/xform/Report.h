@@ -16,9 +16,11 @@
 #ifndef ALF_XFORM_REPORT_H
 #define ALF_XFORM_REPORT_H
 
+#include "xform/Parallelize.h"
 #include "xform/Strategy.h"
 
 #include <string>
+#include <vector>
 
 namespace alf {
 namespace xform {
@@ -45,6 +47,21 @@ ContractionOutcome classifyContraction(const StrategyResult &SR,
 
 /// The full report: one line per array of the program, in symbol order.
 std::string contractionReport(const StrategyResult &SR);
+
+/// One nest row of the parallelism report. Filled in by the execution
+/// layer's planner (this module cannot see the loop IR, so callers
+/// describe their nests in these terms).
+struct NestParallelSummary {
+  unsigned ClusterId = 0;
+  std::string LSV;    ///< rendered loop structure vector, e.g. "(1,2)"
+  int64_t Points = 0; ///< total iteration points of the nest
+  NestParallelPlan Plan;
+};
+
+/// "Which nests ran parallel and why": one line per nest, naming the
+/// decision (outer-parallel / inner-parallel / seq-*), the parallel loop
+/// level where there is one, and the legality justification.
+std::string parallelismReport(const std::vector<NestParallelSummary> &Nests);
 
 } // namespace xform
 } // namespace alf

@@ -38,6 +38,22 @@ const char *xform::getStrategyName(Strategy S) {
   alf_unreachable("unhandled strategy");
 }
 
+const std::vector<ExecMode> &xform::allExecModes() {
+  static const std::vector<ExecMode> All = {ExecMode::Sequential,
+                                            ExecMode::Parallel};
+  return All;
+}
+
+const char *xform::getExecModeName(ExecMode M) {
+  switch (M) {
+  case ExecMode::Sequential:
+    return "sequential";
+  case ExecMode::Parallel:
+    return "parallel";
+  }
+  alf_unreachable("unhandled execution mode");
+}
+
 StrategyResult xform::applyStrategy(const ASDG &G, Strategy S) {
   FusionPartition P = FusionPartition::trivial(G);
 

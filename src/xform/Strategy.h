@@ -41,6 +41,18 @@ const std::vector<Strategy> &allStrategies();
 /// Printable name ("baseline", "f1", ..., "c2+f4").
 const char *getStrategyName(Strategy S);
 
+/// How a scalarized program is executed. Orthogonal to the optimization
+/// strategy: any strategy's output can run sequentially (the reference
+/// interpreter) or on the tiled multithreaded executor, whose per-nest
+/// legality comes from the same UDVs fusion computed.
+enum class ExecMode { Sequential, Parallel };
+
+/// All execution modes, sequential first.
+const std::vector<ExecMode> &allExecModes();
+
+/// Printable name ("sequential", "parallel").
+const char *getExecModeName(ExecMode M);
+
 /// The outcome of applying a strategy to an ASDG: the fusion partition to
 /// scalarize with, and the set of arrays to contract during scalarization.
 struct StrategyResult {

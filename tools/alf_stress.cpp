@@ -2,11 +2,14 @@
 //
 // Long-running stress tool: generates random array programs and
 // cross-checks every layer of ALF against the interpreter oracle —
-// strategy equivalence, partition validity, distributed (SPMD) execution
-// with compiler-inserted halo exchanges, partial contraction, and
-// (optionally) the C backend compiled with the system compiler.
+// strategy equivalence, partition validity, multithreaded tiled
+// execution, distributed (SPMD) execution with compiler-inserted halo
+// exchanges, partial contraction, and (optionally) the C backend
+// compiled with the system compiler. Generated programs cycle through
+// ranks 1-3, explicit target offsets and mixed regions.
 //
-// Usage: alf_stress [--count=N] [--seed=S] [--procs=P] [--emit-c]
+// Usage: alf_stress [--count=N] [--seed=S] [--procs=P] [--threads=T]
+//                   [--emit-c]
 //
 // Exits nonzero on the first divergence, printing the offending program.
 //
@@ -16,6 +19,7 @@
 #include "comm/CommInsertion.h"
 #include "distsim/DistInterpreter.h"
 #include "exec/Interpreter.h"
+#include "exec/ParallelExecutor.h"
 #include "ir/Generator.h"
 #include "ir/Normalize.h"
 #include "ir/Verifier.h"
@@ -42,6 +46,8 @@ namespace {
 struct Stats {
   unsigned Programs = 0;
   unsigned StrategyRuns = 0;
+  unsigned ParallelRuns = 0;
+  unsigned ParallelNests = 0;
   unsigned Contractions = 0;
   unsigned PartialPlans = 0;
   unsigned DistRuns = 0;
@@ -98,6 +104,7 @@ int main(int argc, char **argv) {
   unsigned Count = 50;
   uint64_t Seed = 1;
   unsigned Procs = 4;
+  unsigned Threads = 4;
   bool EmitC = false;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -107,11 +114,13 @@ int main(int argc, char **argv) {
       Seed = static_cast<uint64_t>(std::atoll(Arg.c_str() + 7));
     else if (Arg.rfind("--procs=", 0) == 0)
       Procs = static_cast<unsigned>(std::atoi(Arg.c_str() + 8));
+    else if (Arg.rfind("--threads=", 0) == 0)
+      Threads = static_cast<unsigned>(std::atoi(Arg.c_str() + 10));
     else if (Arg == "--emit-c")
       EmitC = true;
     else {
       std::cerr << "usage: alf_stress [--count=N] [--seed=S] [--procs=P] "
-                   "[--emit-c]\n";
+                   "[--threads=T] [--emit-c]\n";
       return 2;
     }
   }
@@ -128,8 +137,10 @@ int main(int argc, char **argv) {
     Cfg.NumStmts = 4 + static_cast<unsigned>(ProgSeed % 12);
     Cfg.NumPersistent = 2 + static_cast<unsigned>(ProgSeed % 3);
     Cfg.NumTemps = 2 + static_cast<unsigned>((ProgSeed / 3) % 4);
-    Cfg.Extent = 6 + static_cast<int64_t>(ProgSeed % 4);
+    Cfg.Rank = 1 + static_cast<unsigned>(ProgSeed % 3);
+    Cfg.Extent = Cfg.Rank == 3 ? 4 : 6 + static_cast<int64_t>(ProgSeed % 4);
     Cfg.MaxOffset = 1 + static_cast<unsigned>(ProgSeed % 2);
+    Cfg.AllowTargetOffsets = ProgSeed % 4 == 1;
     Cfg.UseTwoRegions = ProgSeed % 5 == 0;
     Cfg.AddOpaque = ProgSeed % 7 == 0;
 
@@ -155,6 +166,21 @@ int main(int argc, char **argv) {
         fail(*P, formatString("%s diverged: %s", getStrategyName(Strat),
                               Why.c_str()));
       ++S.StrategyRuns;
+
+      // Multithreaded tiled execution of the same program; results must
+      // be bit-identical to the sequential oracle.
+      if (Threads > 0) {
+        ParallelSchedule Sched = planParallelism(LP);
+        S.ParallelNests += Sched.numParallelNests();
+        ParallelOptions Opts;
+        Opts.NumThreads = Threads;
+        if (!resultsMatch(BaseRes, runParallel(LP, ProgSeed ^ 0xfeed, Opts,
+                                               Sched),
+                          0.0, &Why))
+          fail(*P, formatString("%s parallel (%u threads) diverged: %s",
+                                getStrategyName(Strat), Threads, Why.c_str()));
+        ++S.ParallelRuns;
+      }
     }
 
     // Partial contraction with every dimension sequential.
@@ -165,10 +191,19 @@ int main(int argc, char **argv) {
       std::string Why;
       if (!resultsMatch(BaseRes, run(LP, ProgSeed ^ 0xfeed), 0.0, &Why))
         fail(*P, "partial contraction diverged: " + Why);
+      if (Threads > 0) {
+        ParallelOptions Opts;
+        Opts.NumThreads = Threads;
+        if (!resultsMatch(BaseRes, runParallel(LP, ProgSeed ^ 0xfeed, Opts),
+                          0.0, &Why))
+          fail(*P, "partial contraction parallel diverged: " + Why);
+        ++S.ParallelRuns;
+      }
     }
 
-    // Distributed execution (no opaque statements there).
-    if (!Cfg.AddOpaque) {
+    // Distributed execution (no opaque statements or offset assignment
+    // targets there).
+    if (!Cfg.AddOpaque && !Cfg.AllowTargetOffsets) {
       auto LP = scalarize::scalarizeWithStrategy(G, Strategy::C2F3);
       comm::insertLoopLevelComm(LP);
       RunResult Dist = distsim::runDistributed(
@@ -193,6 +228,9 @@ int main(int argc, char **argv) {
   std::cout << "alf_stress: all checks passed\n"
             << "  programs:        " << S.Programs << '\n'
             << "  strategy runs:   " << S.StrategyRuns << '\n'
+            << "  parallel runs:   " << S.ParallelRuns << " ("
+            << S.ParallelNests << " parallel nests, " << Threads
+            << " threads)\n"
             << "  contractions:    " << S.Contractions << '\n'
             << "  partial plans:   " << S.PartialPlans << '\n'
             << "  distributed runs:" << S.DistRuns << '\n'
