@@ -2,16 +2,13 @@
 
 #include "FigureCommon.h"
 
-#include "analysis/ASDG.h"
-#include "comm/CommInsertion.h"
-#include "ir/Normalize.h"
-#include "scalarize/Scalarize.h"
+#include "driver/Pipeline.h"
 #include "support/StringUtil.h"
 #include "support/TextTable.h"
 
 using namespace alf;
-using namespace alf::analysis;
 using namespace alf::benchprogs;
+using namespace alf::driver;
 using namespace alf::exec;
 using namespace alf::figures;
 using namespace alf::ir;
@@ -35,21 +32,21 @@ int64_t figures::perProcessorSize(const BenchmarkInfo &B) {
 PerfStats figures::simulateStrategy(const BenchmarkInfo &B, Strategy S,
                                     const MachineDesc &M, unsigned Procs) {
   auto P = B.Build(perProcessorSize(B));
-  normalizeProgram(*P);
-  ASDG G = ASDG::build(*P);
-  auto LP = scalarize::scalarizeWithStrategy(G, S);
-  comm::insertLoopLevelComm(LP);
-  return simulate(LP, M, ProcGrid::make(Procs, B.Rank));
+  PipelineOptions Opts;
+  Opts.Comm = CommPolicy::LoopLevel;
+  Pipeline PL(*P, Opts);
+  return simulate(PL.scalarize(S), M, ProcGrid::make(Procs, B.Rank));
 }
 
 PerfStats figures::simulateFavorComm(const BenchmarkInfo &B,
                                      const MachineDesc &M, unsigned Procs) {
   auto P = B.Build(perProcessorSize(B));
-  normalizeProgram(*P);
-  comm::insertArrayLevelComm(*P, /*Pipelined=*/true);
-  ASDG G = ASDG::build(*P);
-  auto LP = scalarize::scalarizeWithStrategy(G, Strategy::C2F3);
-  return simulate(LP, M, ProcGrid::make(Procs, B.Rank));
+  PipelineOptions Opts;
+  Opts.Comm = CommPolicy::ArrayLevel;
+  Opts.PipelinedComm = true;
+  Pipeline PL(*P, Opts);
+  return simulate(PL.scalarize(Strategy::C2F3), M,
+                  ProcGrid::make(Procs, B.Rank));
 }
 
 void figures::printRuntimeFigure(const MachineDesc &M, std::ostream &OS) {
@@ -60,16 +57,14 @@ void figures::printRuntimeFigure(const MachineDesc &M, std::ostream &OS) {
   for (const BenchmarkInfo &B : allBenchmarks()) {
     // Build and optimize once per benchmark; only the grid varies with p.
     auto P = B.Build(perProcessorSize(B));
-    normalizeProgram(*P);
-    ASDG G = ASDG::build(*P);
+    PipelineOptions Opts;
+    Opts.Comm = CommPolicy::LoopLevel;
+    Pipeline PL(*P, Opts);
 
     std::vector<std::unique_ptr<lir::LoopProgram>> Programs;
-    for (Strategy S : allStrategies()) {
-      auto LP = std::make_unique<lir::LoopProgram>(
-          scalarize::scalarizeWithStrategy(G, S));
-      comm::insertLoopLevelComm(*LP);
-      Programs.push_back(std::move(LP));
-    }
+    for (Strategy S : allStrategies())
+      Programs.push_back(
+          std::make_unique<lir::LoopProgram>(PL.scalarize(S)));
 
     TextTable Table;
     std::vector<std::string> Header{"p"};

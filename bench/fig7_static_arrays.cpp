@@ -9,18 +9,15 @@
 
 #include "benchprogs/Benchmarks.h"
 
-#include "analysis/ASDG.h"
+#include "driver/Pipeline.h"
 #include "exec/MemoryAccounting.h"
-#include "ir/Normalize.h"
 #include "support/StringUtil.h"
 #include "support/TextTable.h"
-#include "xform/Strategy.h"
 
 #include <iostream>
 #include <set>
 
 using namespace alf;
-using namespace alf::analysis;
 using namespace alf::benchprogs;
 using namespace alf::exec;
 using namespace alf::ir;
@@ -36,13 +33,12 @@ int main() {
 
   for (const BenchmarkInfo &B : allBenchmarks()) {
     auto P = B.Build(8);
-    normalizeProgram(*P);
-    ASDG G = ASDG::build(*P);
-    StrategyResult SR = applyStrategy(G, Strategy::C2);
+    driver::Pipeline PL(*P);
+    StrategyResult SR = PL.strategy(Strategy::C2);
     std::set<const ArraySymbol *> Contracted(SR.Contracted.begin(),
                                              SR.Contracted.end());
-    MemoryCensus Before = computeCensus(*P, {});
-    MemoryCensus After = computeCensus(*P, Contracted);
+    MemoryCensus Before = computeCensus(PL.program(), {});
+    MemoryCensus After = computeCensus(PL.program(), Contracted);
 
     double Change =
         Before.StaticArrays == 0

@@ -11,19 +11,16 @@
 
 #include "benchprogs/Benchmarks.h"
 
-#include "analysis/ASDG.h"
+#include "driver/Pipeline.h"
 #include "exec/MemoryAccounting.h"
-#include "ir/Normalize.h"
 #include "support/StringUtil.h"
 #include "support/TextTable.h"
-#include "xform/Strategy.h"
 
 #include <cmath>
 #include <iostream>
 #include <set>
 
 using namespace alf;
-using namespace alf::analysis;
 using namespace alf::benchprogs;
 using namespace alf::exec;
 using namespace alf::ir;
@@ -33,14 +30,13 @@ namespace {
 
 uint64_t peakBytesAt(const BenchmarkInfo &B, int64_t N, bool Contract) {
   auto P = B.Build(N);
-  normalizeProgram(*P);
+  driver::Pipeline PL(*P);
   std::set<const ArraySymbol *> Contracted;
   if (Contract) {
-    ASDG G = ASDG::build(*P);
-    StrategyResult SR = applyStrategy(G, Strategy::C2);
+    StrategyResult SR = PL.strategy(Strategy::C2);
     Contracted.insert(SR.Contracted.begin(), SR.Contracted.end());
   }
-  return computeCensus(*P, Contracted).PeakBytes;
+  return computeCensus(PL.program(), Contracted).PeakBytes;
 }
 
 } // namespace
@@ -57,13 +53,12 @@ int main() {
 
   for (const BenchmarkInfo &B : allBenchmarks()) {
     auto P = B.Build(8);
-    normalizeProgram(*P);
-    ASDG G = ASDG::build(*P);
-    StrategyResult SR = applyStrategy(G, Strategy::C2);
+    driver::Pipeline PL(*P);
+    StrategyResult SR = PL.strategy(Strategy::C2);
     std::set<const ArraySymbol *> Contracted(SR.Contracted.begin(),
                                              SR.Contracted.end());
-    unsigned Lb = computeCensus(*P, {}).PeakLive;
-    unsigned La = computeCensus(*P, Contracted).PeakLive;
+    unsigned Lb = computeCensus(PL.program(), {}).PeakLive;
+    unsigned La = computeCensus(PL.program(), Contracted).PeakLive;
     double C = problemSizeChangePercent(Lb, La);
 
     // Measured: binary-search the largest problem size that fits. The

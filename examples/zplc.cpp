@@ -8,10 +8,16 @@
 // Usage:  ./zplc [file.zpl] [--strategy=c2|baseline|c1|f1|f2|f3|c2+f3|c2+f4]
 //                [--dump-asdg] [--dump-source] [--emit-c] [--emit-f77]
 //                [--explain] [--stats] [--simulate]
+//                [--exec=sequential|parallel|jit] [--seed=S]
+//
+// --exec runs the compiled program and prints its live-out scalars and
+// array checksums; `--exec=jit` compiles the kernels natively with the
+// system compiler (falling back to the interpreter when there is none).
 //
 //===----------------------------------------------------------------------===//
 
 #include "analysis/ASDG.h"
+#include "exec/ParallelExecutor.h"
 #include "exec/PerfModel.h"
 #include "frontend/Parser.h"
 #include "ir/Align.h"
@@ -25,8 +31,10 @@
 #include "xform/Report.h"
 #include "xform/Strategy.h"
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 using namespace alf;
@@ -61,6 +69,8 @@ int main(int argc, char **argv) {
   bool DumpASDG = false, DumpSource = false, EmitC = false,
        EmitF77 = false, Explain = false, Stats = false,
        Simulate = false;
+  std::optional<xform::ExecMode> Exec;
+  uint64_t Seed = 1;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -99,6 +109,19 @@ int main(int argc, char **argv) {
     }
     if (Arg == "--simulate") {
       Simulate = true;
+      continue;
+    }
+    if (Arg.rfind("--exec=", 0) == 0) {
+      Exec = xform::execModeNamed(Arg.substr(7));
+      if (!Exec) {
+        std::cerr << "zplc: unknown execution mode '" << Arg.substr(7)
+                  << "'\n";
+        return 1;
+      }
+      continue;
+    }
+    if (Arg.rfind("--seed=", 0) == 0) {
+      Seed = static_cast<uint64_t>(std::atoll(Arg.c_str() + 7));
       continue;
     }
     std::ifstream In(Arg);
@@ -180,6 +203,22 @@ int main(int argc, char **argv) {
                        Stats.totalNs() / 1e6, 100.0 * Stats.l1MissRatio(),
                        static_cast<unsigned long long>(Stats.Flops))
                 << '\n';
+    }
+  }
+  if (Exec) {
+    exec::RunResult Res = exec::runWithMode(LP, Seed, *Exec);
+    std::cout << "\n// executed (" << xform::getExecModeName(*Exec)
+              << ", seed " << Seed << "):\n";
+    for (const auto &[Name, Value] : Res.ScalarsOut)
+      std::cout << "//   " << Name << " = "
+                << alf::formatString("%.17g", Value) << '\n';
+    for (const auto &[Name, Values] : Res.LiveOut) {
+      double Sum = 0.0;
+      for (double V : Values)
+        Sum += V;
+      std::cout << "//   sum(" << Name << ") = "
+                << alf::formatString("%.17g", Sum) << " (" << Values.size()
+                << " elements)\n";
     }
   }
   if (Stats) {

@@ -1,0 +1,82 @@
+//===- driver/Pipeline.cpp - End-to-end compilation facade ------------------===//
+
+#include "driver/Pipeline.h"
+
+#include "comm/CommInsertion.h"
+#include "ir/Normalize.h"
+#include "scalarize/Scalarize.h"
+
+using namespace alf;
+using namespace alf::driver;
+using namespace alf::exec;
+using namespace alf::xform;
+
+Pipeline::Pipeline(ir::Program &P, PipelineOptions InOpts)
+    : P(P), Opts(std::move(InOpts)) {}
+
+Pipeline::~Pipeline() = default;
+
+void Pipeline::prepare() {
+  if (Prepared)
+    return;
+  Prepared = true;
+  if (Opts.Normalize)
+    ir::normalizeProgram(P);
+  if (Opts.Comm == CommPolicy::ArrayLevel)
+    comm::insertArrayLevelComm(P, Opts.PipelinedComm);
+}
+
+ir::Program &Pipeline::program() {
+  prepare();
+  return P;
+}
+
+const analysis::ASDG &Pipeline::asdg() {
+  if (!G) {
+    prepare();
+    G = analysis::ASDG::build(P);
+  }
+  return *G;
+}
+
+StrategyResult Pipeline::strategy(Strategy S) {
+  return applyStrategy(asdg(), S);
+}
+
+lir::LoopProgram Pipeline::scalarize(Strategy S) {
+  lir::LoopProgram LP = alf::scalarize::scalarizeWithStrategy(asdg(), S);
+  if (Opts.Comm == CommPolicy::LoopLevel)
+    comm::insertLoopLevelComm(LP);
+  return LP;
+}
+
+lir::LoopProgram Pipeline::scalarize(const StrategyResult &SR) {
+  lir::LoopProgram LP = alf::scalarize::scalarize(asdg(), SR);
+  if (Opts.Comm == CommPolicy::LoopLevel)
+    comm::insertLoopLevelComm(LP);
+  return LP;
+}
+
+RunResult Pipeline::run(const lir::LoopProgram &LP, ExecMode Mode,
+                        uint64_t Seed, JitRunInfo *JitInfo) {
+  if (Mode == ExecMode::NativeJit)
+    return jit().run(LP, Seed, JitInfo);
+  return runWithMode(LP, Seed, Mode, Opts.Parallel);
+}
+
+RunResult Pipeline::run(Strategy S, ExecMode Mode, uint64_t Seed,
+                        JitRunInfo *JitInfo) {
+  return run(scalarize(S), Mode, Seed, JitInfo);
+}
+
+JitEngine &Pipeline::jit() {
+  if (!Jit)
+    Jit = std::make_unique<JitEngine>(Opts.Jit);
+  return *Jit;
+}
+
+RunResult Pipeline::runProgram(ir::Program &P, Strategy S, ExecMode Mode,
+                               const PipelineOptions &Opts, uint64_t Seed) {
+  Pipeline PL(P, Opts);
+  return PL.run(S, Mode, Seed);
+}

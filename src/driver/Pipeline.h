@@ -1,0 +1,138 @@
+//===- driver/Pipeline.h - End-to-end compilation facade -------*- C++ -*-===//
+//
+// Part of the ALF project: array-level fusion and contraction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One front door for the whole ALF chain. Benchmarks, tools and tests
+/// all used to hand-assemble normalize -> ASDG -> applyStrategy ->
+/// scalarize -> (comm) -> execute, each with slightly different plumbing;
+/// Pipeline owns that sequence once. A Pipeline wraps one ir::Program,
+/// builds the ASDG lazily (after normalization and, under the
+/// favor-communication policy, array-level exchange insertion), and then
+/// serves any number of strategies and execution modes from the shared
+/// analysis:
+///
+///   driver::Pipeline PL(*P);
+///   auto LP  = PL.scalarize(Strategy::C2);             // LoopProgram
+///   auto Res = PL.run(Strategy::C2, ExecMode::NativeJit, Seed);
+///
+/// Execution dispatches through exec::runWithMode; for NativeJit the
+/// pipeline keeps one JitEngine alive for its whole lifetime, so a sweep
+/// over strategies and seeds pays each kernel compile once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALF_DRIVER_PIPELINE_H
+#define ALF_DRIVER_PIPELINE_H
+
+#include "analysis/ASDG.h"
+#include "exec/NativeJit.h"
+#include "exec/ParallelExecutor.h"
+#include "ir/Program.h"
+#include "scalarize/LoopIR.h"
+#include "xform/Strategy.h"
+
+#include <memory>
+#include <optional>
+
+namespace alf {
+namespace driver {
+
+/// Where (and whether) communication is inserted, mirroring the paper's
+/// section 5.5 policies.
+enum class CommPolicy {
+  None,       ///< Single address space; no exchanges.
+  LoopLevel,  ///< Favor fusion: CommOps inserted after scalarization.
+  ArrayLevel, ///< Favor comm: CommStmts inserted before the ASDG is built.
+};
+
+/// Configuration of one Pipeline.
+struct PipelineOptions {
+  /// Run ir::normalizeProgram before analysis (condition (i) of the
+  /// paper's normal form). Disable only for programs known normalized.
+  bool Normalize = true;
+
+  CommPolicy Comm = CommPolicy::None;
+
+  /// Under CommPolicy::ArrayLevel, split exchanges into hoisted
+  /// send/recv pairs for overlap.
+  bool PipelinedComm = true;
+
+  /// Thread count etc. for ExecMode::Parallel.
+  exec::ParallelOptions Parallel;
+
+  /// Compiler, flags and cache directory for ExecMode::NativeJit.
+  exec::JitOptions Jit;
+};
+
+/// Facade over the parse/normalize -> ASDG -> strategy -> scalarize ->
+/// execute chain for one program. Not thread-safe; create one per thread.
+/// The wrapped program must outlive the pipeline (the ASDG and every
+/// LoopProgram reference its symbols).
+class Pipeline {
+public:
+  explicit Pipeline(ir::Program &P, PipelineOptions Opts = PipelineOptions());
+  ~Pipeline();
+
+  Pipeline(const Pipeline &) = delete;
+  Pipeline &operator=(const Pipeline &) = delete;
+
+  /// The wrapped program, after the pre-analysis passes (normalization,
+  /// array-level communication) have run.
+  ir::Program &program();
+
+  /// The dependence graph, built on first use (normalizing and inserting
+  /// array-level communication first, per the options).
+  const analysis::ASDG &asdg();
+
+  /// Fusion partition + contraction set of \p S over asdg().
+  xform::StrategyResult strategy(xform::Strategy S);
+
+  /// Scalarized loop program of \p S, with loop-level communication
+  /// inserted when the policy asks for it.
+  lir::LoopProgram scalarize(xform::Strategy S);
+
+  /// As above, for a strategy result the caller has already computed (and
+  /// possibly inspected or adjusted).
+  lir::LoopProgram scalarize(const xform::StrategyResult &SR);
+
+  /// Runs \p S under \p Mode on inputs seeded by \p Seed. All modes have
+  /// the same observable semantics (NativeJit falls back to the
+  /// interpreter when the system compiler is unusable; \p JitInfo, when
+  /// non-null, records what happened).
+  exec::RunResult run(xform::Strategy S, xform::ExecMode Mode,
+                      uint64_t Seed = 0, exec::JitRunInfo *JitInfo = nullptr);
+
+  /// As above, for an already scalarized program of this pipeline.
+  exec::RunResult run(const lir::LoopProgram &LP, xform::ExecMode Mode,
+                      uint64_t Seed = 0, exec::JitRunInfo *JitInfo = nullptr);
+
+  /// The JIT engine backing ExecMode::NativeJit runs, created on first
+  /// use from the options' JitOptions.
+  exec::JitEngine &jit();
+
+  const PipelineOptions &options() const { return Opts; }
+
+  /// One-shot convenience: Pipeline(P, Opts).run(S, Mode, Seed).
+  static exec::RunResult runProgram(ir::Program &P, xform::Strategy S,
+                                    xform::ExecMode Mode,
+                                    const PipelineOptions &Opts =
+                                        PipelineOptions(),
+                                    uint64_t Seed = 0);
+
+private:
+  void prepare();
+
+  ir::Program &P;
+  PipelineOptions Opts;
+  bool Prepared = false;
+  std::optional<analysis::ASDG> G;
+  std::unique_ptr<exec::JitEngine> Jit;
+};
+
+} // namespace driver
+} // namespace alf
+
+#endif // ALF_DRIVER_PIPELINE_H

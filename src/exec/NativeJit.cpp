@@ -1,0 +1,257 @@
+//===- exec/NativeJit.cpp - Native JIT kernel backend -----------------------===//
+
+#include "exec/NativeJit.h"
+
+#include "exec/Eval.h"
+#include "scalarize/CEmitter.h"
+#include "support/Process.h"
+#include "support/Statistic.h"
+#include "support/StringUtil.h"
+
+#include <cstdlib>
+#include <dlfcn.h>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+using namespace alf;
+using namespace alf::exec;
+using namespace alf::ir;
+using namespace alf::lir;
+
+namespace {
+
+ALF_STATISTIC(NumJitRuns, "jit", "Executions dispatched to the native backend");
+ALF_STATISTIC(NumJitCompiles, "jit", "Kernel compiler invocations");
+ALF_STATISTIC(NumJitCompileFailures, "jit",
+              "Compiler invocations that failed or timed out");
+ALF_STATISTIC(NumJitCacheMemoryHits, "jit",
+              "Kernels served from the in-memory cache");
+ALF_STATISTIC(NumJitCacheDiskHits, "jit",
+              "Kernels loaded from the on-disk cache");
+ALF_STATISTIC(NumJitCacheCorrupt, "jit",
+              "Corrupt on-disk cache entries discarded");
+ALF_STATISTIC(NumJitFallbacks, "jit",
+              "Runs that fell back to the sequential interpreter");
+
+/// The kernel function name inside every emitted module.
+constexpr const char *KernelName = "alf_kernel";
+
+std::string defaultCacheDir() {
+  if (const char *Env = std::getenv("ALF_JIT_CACHE_DIR"))
+    if (*Env)
+      return Env;
+  std::error_code EC;
+  std::filesystem::path Tmp = std::filesystem::temp_directory_path(EC);
+  if (EC)
+    Tmp = "/tmp";
+  return (Tmp / "alf-kernel-cache").string();
+}
+
+/// Content hash of one kernel: emitted source + compile command +
+/// compiler version. Any of the three changing yields a new cache entry.
+uint64_t contentHash(const std::string &Source, const JitOptions &Opts,
+                     const std::string &CompilerVersion) {
+  return hashName(Source + '\x1f' + Opts.Compiler + ' ' + Opts.Flags +
+                  '\x1f' + CompilerVersion);
+}
+
+std::string soPathFor(const std::string &CacheDir, uint64_t Hash) {
+  return CacheDir + "/" +
+         formatString("alf-%016llx.so",
+                      static_cast<unsigned long long>(Hash));
+}
+
+} // namespace
+
+JitEngine::JitEngine(JitOptions InOpts) : Opts(std::move(InOpts)) {
+  if (Opts.CacheDir.empty())
+    Opts.CacheDir = defaultCacheDir();
+}
+
+JitEngine::~JitEngine() {
+  for (auto &[Hash, Kernel] : Kernels)
+    if (Kernel.Handle)
+      dlclose(Kernel.Handle);
+}
+
+bool JitEngine::compilerAvailable(const JitOptions &Opts) {
+  return runCommand(Opts.Compiler + " --version > /dev/null").ok();
+}
+
+const std::string &JitEngine::compilerVersion() {
+  if (!CompilerVersionProbed) {
+    CompilerVersion = commandFirstLine(Opts.Compiler + " --version");
+    CompilerVersionProbed = true;
+  }
+  return CompilerVersion;
+}
+
+JitEngine::LoadedKernel *JitEngine::kernelFor(const scalarize::CModule &Module,
+                                              JitRunInfo &Info,
+                                              std::string &WhyNot) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+
+  std::string Version = compilerVersion();
+  if (Version.empty()) {
+    WhyNot = "compiler '" + Opts.Compiler + "' is not available";
+    return nullptr;
+  }
+
+  uint64_t Hash = contentHash(Module.Source, Opts, Version);
+  Info.SoPath = soPathFor(Opts.CacheDir, Hash);
+
+  auto It = Kernels.find(Hash);
+  if (It != Kernels.end()) {
+    Info.CacheHitMemory = true;
+    ++NumJitCacheMemoryHits;
+    return &It->second;
+  }
+
+  auto LoadEntry = [&](void *Handle) -> LoadedKernel * {
+    void *Sym = dlsym(Handle, Module.EntryName.c_str());
+    if (!Sym)
+      return nullptr;
+    LoadedKernel Kernel;
+    Kernel.Handle = Handle;
+    Kernel.Entry = reinterpret_cast<void (*)(double **, double *)>(Sym);
+    return &Kernels.emplace(Hash, Kernel).first->second;
+  };
+
+  std::error_code EC;
+  // Warm path: a previous process (or CI run) compiled this kernel.
+  if (std::filesystem::exists(Info.SoPath, EC)) {
+    if (void *Handle = dlopen(Info.SoPath.c_str(), RTLD_NOW | RTLD_LOCAL)) {
+      if (LoadedKernel *Kernel = LoadEntry(Handle)) {
+        Info.CacheHitDisk = true;
+        ++NumJitCacheDiskHits;
+        return Kernel;
+      }
+      dlclose(Handle);
+    }
+    // Unloadable or missing the entry symbol: a corrupt or stale entry.
+    // Discard it and recompile below.
+    ++NumJitCacheCorrupt;
+    std::filesystem::remove(Info.SoPath, EC);
+  }
+
+  // Cold path: write the source next to the object and compile into a
+  // temp file, renaming only on success so concurrent processes never see
+  // a half-written entry.
+  std::filesystem::create_directories(Opts.CacheDir, EC);
+  std::string SrcPath =
+      Info.SoPath.substr(0, Info.SoPath.size() - 3) + ".c";
+  {
+    std::ofstream Out(SrcPath);
+    Out << Module.Source;
+    if (!Out) {
+      WhyNot = "cannot write kernel source to " + SrcPath;
+      return nullptr;
+    }
+  }
+  std::string TmpSo = Info.SoPath + formatString(".tmp%d", getpid());
+  std::string Cmd = Opts.Compiler + " " + Opts.Flags + " -o " + TmpSo + " " +
+                    SrcPath + " -lm";
+  Info.Compiled = true;
+  ++NumJitCompiles;
+  CommandResult CR = runCommand(Cmd, Opts.CompileTimeoutSec);
+  if (!CR.ok()) {
+    ++NumJitCompileFailures;
+    std::filesystem::remove(TmpSo, EC);
+    WhyNot = CR.TimedOut
+                 ? formatString("compiler exceeded the %u s CPU budget",
+                                Opts.CompileTimeoutSec)
+                 : "compile failed: " +
+                       (CR.Output.empty() ? "exit " +
+                                                std::to_string(CR.ExitCode)
+                                          : CR.Output);
+    return nullptr;
+  }
+  std::filesystem::rename(TmpSo, Info.SoPath, EC);
+  if (EC) {
+    std::filesystem::remove(TmpSo, EC);
+    WhyNot = "cannot install compiled kernel into the cache";
+    return nullptr;
+  }
+
+  void *Handle = dlopen(Info.SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!Handle) {
+    const char *Err = dlerror();
+    WhyNot = std::string("dlopen failed: ") + (Err ? Err : "unknown error");
+    return nullptr;
+  }
+  if (LoadedKernel *Kernel = LoadEntry(Handle))
+    return Kernel;
+  dlclose(Handle);
+  WhyNot = "entry symbol '" + Module.EntryName + "' missing from kernel";
+  return nullptr;
+}
+
+RunResult JitEngine::run(const LoopProgram &LP, uint64_t Seed,
+                         JitRunInfo *OutInfo) {
+  ++NumJitRuns;
+  JitRunInfo Info;
+  std::string WhyNot;
+  scalarize::CModule Module = scalarize::emitCModule(LP, KernelName);
+  LoadedKernel *Kernel = nullptr;
+  if (!Module.ok())
+    WhyNot = "emission failed: " + Module.Error;
+  else
+    Kernel = kernelFor(Module, Info, WhyNot);
+  if (!Kernel) {
+    ++NumJitFallbacks;
+    Info.FallbackReason = WhyNot;
+    if (OutInfo)
+      *OutInfo = Info;
+    return exec::run(LP, Seed);
+  }
+
+  // Marshal the caller-owned buffers in the module's argument order. The
+  // emitter's layouts are computed from the same footprint bounds (and
+  // partial-contraction overrides) Storage allocates with, so raw
+  // pointers line up element for element.
+  Storage Store = allocateStorage(LP, Seed);
+  std::vector<double *> Arrays;
+  Arrays.reserve(Module.Arrays.size());
+  for (const ArraySymbol *A : Module.Arrays) {
+    ArrayBuffer *Buf = Store.buffer(A);
+    if (!Buf) {
+      ++NumJitFallbacks;
+      Info.FallbackReason =
+          "array '" + A->getName() + "' missing from storage";
+      if (OutInfo)
+        *OutInfo = Info;
+      return exec::run(LP, Seed);
+    }
+    Arrays.push_back(Buf->data());
+  }
+  std::vector<double> Scalars;
+  Scalars.reserve(Module.Scalars.size());
+  for (const ScalarSymbol *S : Module.Scalars)
+    Scalars.push_back(Store.getScalar(S));
+
+  Kernel->Entry(Arrays.data(), Scalars.data());
+
+  for (size_t I = 0; I < Module.Scalars.size(); ++I)
+    Store.setScalar(Module.Scalars[I], Scalars[I]);
+
+  Info.UsedJit = true;
+  if (OutInfo)
+    *OutInfo = Info;
+  return collectResults(LP, Store);
+}
+
+std::string JitEngine::cachePathFor(const LoopProgram &LP) {
+  scalarize::CModule Module = scalarize::emitCModule(LP, KernelName);
+  if (!Module.ok())
+    return "";
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return soPathFor(Opts.CacheDir,
+                   contentHash(Module.Source, Opts, compilerVersion()));
+}
+
+RunResult exec::runNativeJit(const LoopProgram &LP, uint64_t Seed,
+                             JitRunInfo *Info) {
+  static JitEngine SharedEngine;
+  return SharedEngine.run(LP, Seed, Info);
+}

@@ -1,0 +1,132 @@
+//===- exec/NativeJit.h - Native JIT kernel backend ------------*- C++ -*-===//
+//
+// Part of the ALF project: array-level fusion and contraction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a scalarized LoopProgram as real machine code: the C backend
+/// emits a kernel with a fixed `_entry(double **arrays, double *scalars)`
+/// ABI, the system compiler turns it into a shared object, and the engine
+/// dlopens it and runs it against exec::Storage — so the paper's eight
+/// strategies are finally measured on hardware instead of the
+/// interpreter.
+///
+/// Kernels are cached twice: in memory (per engine, by content hash) and
+/// on disk (shared across processes and runs), keyed by a hash of the
+/// emitted source, the compiler flags and the compiler version — so a
+/// strategy sweep or the 50-seed stress harness pays each compile once,
+/// and a toolchain upgrade invalidates stale objects automatically.
+///
+/// The fallback ladder keeps the backend total: emission failure, missing
+/// compiler, compile failure/timeout, dlopen or dlsym failure each
+/// degrade to the sequential interpreter with the reason recorded (and
+/// counted in the "jit" Statistic group), so callers always get a result.
+/// Results are bit-identical to the interpreter: the emitted helpers
+/// mirror the interpreter's guarded arithmetic and kernels are compiled
+/// with `-ffp-contract=off` and without fast-math.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALF_EXEC_NATIVEJIT_H
+#define ALF_EXEC_NATIVEJIT_H
+
+#include "exec/Interpreter.h"
+#include "scalarize/CEmitter.h"
+#include "scalarize/LoopIR.h"
+
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace alf {
+namespace exec {
+
+/// Configuration of the native backend.
+struct JitOptions {
+  /// Kernel-cache directory; shared objects land here as
+  /// `alf-<contenthash>.so`. Empty selects $ALF_JIT_CACHE_DIR, falling
+  /// back to <tmp>/alf-kernel-cache.
+  std::string CacheDir;
+
+  /// Compiler driver invoked for kernels.
+  std::string Compiler = "cc";
+
+  /// Optimization/correctness flags. -ffp-contract=off (and the absence
+  /// of fast-math) is what keeps native results bit-identical to the
+  /// interpreter; changing flags changes the content hash.
+  std::string Flags = "-std=c99 -O2 -ffp-contract=off -fPIC -shared";
+
+  /// CPU-seconds budget for one compiler invocation; a runaway compile is
+  /// killed and treated as a compile failure. 0 disables the limit.
+  unsigned CompileTimeoutSec = 60;
+};
+
+/// What happened on one JitEngine::run call (for tests and reports).
+struct JitRunInfo {
+  bool UsedJit = false;        ///< Kernel executed natively.
+  bool Compiled = false;       ///< This run invoked the compiler.
+  bool CacheHitMemory = false; ///< Served from this engine's loaded kernels.
+  bool CacheHitDisk = false;   ///< Loaded a previously compiled .so.
+  std::string FallbackReason;  ///< Why the interpreter ran instead ("" = jit).
+  std::string SoPath;          ///< Cache entry backing this kernel.
+};
+
+/// A JIT compilation engine: owns the loaded kernels of one process and
+/// the handle bookkeeping. Thread-safe; one engine can serve every
+/// strategy of a sweep so repeated shapes hit the in-memory cache.
+class JitEngine {
+public:
+  explicit JitEngine(JitOptions Opts = JitOptions());
+  ~JitEngine();
+
+  JitEngine(const JitEngine &) = delete;
+  JitEngine &operator=(const JitEngine &) = delete;
+
+  /// Runs \p LP natively on inputs seeded by \p Seed, falling back to the
+  /// sequential interpreter when any step of the JIT ladder fails. Same
+  /// observable semantics as exec::run on the same seed.
+  RunResult run(const lir::LoopProgram &LP, uint64_t Seed,
+                JitRunInfo *Info = nullptr);
+
+  /// The on-disk cache entry \p LP's kernel maps to under this engine's
+  /// options (exists only after a successful compile). Tests use this to
+  /// corrupt entries deliberately.
+  std::string cachePathFor(const lir::LoopProgram &LP);
+
+  /// Resolved cache directory.
+  const std::string &cacheDir() const { return Opts.CacheDir; }
+
+  /// True when \p Opts.Compiler can run at all (probed once per call).
+  static bool compilerAvailable(const JitOptions &Opts = JitOptions());
+
+private:
+  struct LoadedKernel {
+    void *Handle = nullptr;
+    void (*Entry)(double **, double *) = nullptr;
+  };
+
+  /// Returns the entry point for \p Module's kernel, compiling and/or
+  /// loading as needed; null with \p WhyNot set when every rung failed.
+  LoadedKernel *kernelFor(const scalarize::CModule &Module, JitRunInfo &Info,
+                          std::string &WhyNot);
+
+  const std::string &compilerVersion();
+
+  JitOptions Opts;
+  std::mutex Mutex;
+  std::map<uint64_t, LoadedKernel> Kernels; // by content hash
+  std::string CompilerVersion;
+  bool CompilerVersionProbed = false;
+};
+
+/// Runs \p LP through a process-wide shared engine with default options
+/// (honoring $ALF_JIT_CACHE_DIR). This is what ExecMode::NativeJit
+/// dispatches to.
+RunResult runNativeJit(const lir::LoopProgram &LP, uint64_t Seed,
+                       JitRunInfo *Info = nullptr);
+
+} // namespace exec
+} // namespace alf
+
+#endif // ALF_EXEC_NATIVEJIT_H

@@ -3,7 +3,9 @@
 #include "exec/ParallelExecutor.h"
 
 #include "exec/Eval.h"
+#include "exec/NativeJit.h"
 #include "support/Casting.h"
+#include "support/ErrorHandling.h"
 #include "support/Statistic.h"
 #include "support/ThreadPool.h"
 #include "xform/Report.h"
@@ -215,8 +217,27 @@ RunResult exec::runParallel(const LoopProgram &LP, uint64_t Seed,
   return runParallel(LP, Seed, Opts, planParallelism(LP));
 }
 
+std::string exec::describeSchedule(const LoopProgram &LP,
+                                   const ParallelSchedule &Sched,
+                                   ExecMode Mode) {
+  std::string Report = "exec mode: ";
+  Report += getExecModeName(Mode);
+  Report += '\n';
+  if (Mode == ExecMode::NativeJit)
+    Report += "(nests compile into one native kernel; per-nest parallel "
+              "plans do not apply)\n";
+  return Report + describeSchedule(LP, Sched);
+}
+
 RunResult exec::runWithMode(const LoopProgram &LP, uint64_t Seed,
                             ExecMode Mode, const ParallelOptions &Opts) {
-  return Mode == ExecMode::Parallel ? runParallel(LP, Seed, Opts)
-                                    : run(LP, Seed);
+  switch (Mode) {
+  case ExecMode::Sequential:
+    return run(LP, Seed);
+  case ExecMode::Parallel:
+    return runParallel(LP, Seed, Opts);
+  case ExecMode::NativeJit:
+    return runNativeJit(LP, Seed);
+  }
+  alf_unreachable("unhandled execution mode");
 }

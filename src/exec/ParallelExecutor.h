@@ -66,6 +66,14 @@ ParallelSchedule planParallelism(const lir::LoopProgram &LP);
 std::string describeSchedule(const lir::LoopProgram &LP,
                              const ParallelSchedule &Sched);
 
+/// Like describeSchedule, prefixed with the execution mode the program
+/// will run under; for ExecMode::NativeJit the per-nest parallel plans do
+/// not apply (the whole program executes as one compiled kernel) and the
+/// report says so.
+std::string describeSchedule(const lir::LoopProgram &LP,
+                             const ParallelSchedule &Sched,
+                             xform::ExecMode Mode);
+
 /// Runs \p LP under \p Sched with \p Opts.NumThreads workers. Same
 /// observable semantics as exec::run on the same seed.
 RunResult runParallel(const lir::LoopProgram &LP, uint64_t Seed,
@@ -76,8 +84,9 @@ RunResult runParallel(const lir::LoopProgram &LP, uint64_t Seed,
 RunResult runParallel(const lir::LoopProgram &LP, uint64_t Seed,
                       const ParallelOptions &Opts = ParallelOptions());
 
-/// Dispatches on the execution mode: the sequential interpreter or the
-/// parallel executor.
+/// Dispatches on the execution mode: the sequential interpreter, the
+/// parallel executor, or the native JIT backend (which itself falls back
+/// to the interpreter when no system compiler is available).
 RunResult runWithMode(const lir::LoopProgram &LP, uint64_t Seed,
                       xform::ExecMode Mode,
                       const ParallelOptions &Opts = ParallelOptions());

@@ -66,6 +66,12 @@ public:
 
   const std::vector<double> &raw() const { return Data; }
 
+  /// Mutable base pointer of the row-major payload. The native JIT backend
+  /// hands this to the compiled kernel, which reads and writes the buffer
+  /// in place (the layout the C emitter computes from footprint bounds is
+  /// identical to this buffer's).
+  double *data() { return Data.data(); }
+
   /// Fills the buffer with deterministic pseudo-random values in
   /// [-1, 1), seeded by \p Seed (callers mix in the array name so every
   /// strategy sees identical inputs).

@@ -78,6 +78,36 @@ public:
     return It->second;
   }
 
+  /// Pre-flight check that every construct the emitter will render is
+  /// supported: each array referenced from a nest body must have storage
+  /// (a footprint layout) — contracted arrays were already rewritten to
+  /// scalars during scalarization, so a missing layout means the program
+  /// reached the backend in a shape it cannot express. Returns "" when
+  /// emission will succeed.
+  std::string validate() const {
+    for (const auto &NodePtr : LP.nodes()) {
+      const auto *Nest = dyn_cast<LoopNest>(NodePtr.get());
+      if (!Nest)
+        continue;
+      for (const ScalarStmt &S : Nest->Body) {
+        std::vector<const ArraySymbol *> Refs;
+        if (!S.LHS.isScalar())
+          Refs.push_back(S.LHS.Array);
+        for (const ArrayRefExpr *Ref : collectArrayRefs(S.RHS.get()))
+          Refs.push_back(Ref->getSymbol());
+        for (const ArraySymbol *A : Refs) {
+          if (!Layouts.count(A->getId()))
+            return "array '" + A->getName() +
+                   "' is referenced but has no storage layout";
+          if (layoutOf(A).Bounds.rank() != Nest->R->rank())
+            return "array '" + A->getName() +
+                   "' rank does not match its enclosing nest";
+        }
+      }
+    }
+    return "";
+  }
+
   /// "A_x[(i1-(0))*18 + (i2-(1))]" for the element at loop indices +
   /// offset. Dimensions reduced by partial contraction index their
   /// rolling buffer modulo the window size.
@@ -336,6 +366,32 @@ public:
     OS << "}\n";
   }
 
+  /// Emits the fixed-ABI wrapper the native JIT backend dlopens:
+  /// `void <FnName>_entry(double **arrays, double *scalars)`, unpacking
+  /// the caller-owned buffers into the kernel's positional parameters
+  /// (arrays in allocatedArrays() order, scalars in programScalars()
+  /// order — the order CModule reports).
+  void emitEntry(const std::string &FnName) {
+    OS << "\nvoid " << FnName << "_entry(double **arrays, double *scalars)"
+       << " {\n";
+    OS << "  " << FnName << "(";
+    bool First = true;
+    size_t ArrayIdx = 0;
+    for (const ArraySymbol *A : allocatedArrays()) {
+      (void)A;
+      OS << (First ? "" : ", ") << "arrays[" << ArrayIdx++ << "]";
+      First = false;
+    }
+    size_t ScalarIdx = 0;
+    for (const ScalarSymbol *S : programScalars()) {
+      (void)S;
+      OS << (First ? "" : ", ") << "&scalars[" << ScalarIdx++ << "]";
+      First = false;
+    }
+    OS << ");\n";
+    OS << "}\n";
+  }
+
   void emitHarness(const std::string &FnName, uint64_t Seed) {
     // SplitMix64 + FNV-1a, bit-identical to support/Random.h and
     // exec::hashName.
@@ -421,19 +477,63 @@ static uint64_t alf_hash(const char *s) {
 
 } // namespace
 
-std::string scalarize::emitC(const LoopProgram &LP, const std::string &FnName) {
+CEmitResult scalarize::emitCChecked(const LoopProgram &LP,
+                                    const std::string &FnName) {
+  CEmitResult Result;
   Emitter E(LP);
+  Result.Error = E.validate();
+  if (!Result.ok())
+    return Result;
   E.emitPrelude();
   E.emitKernel(FnName);
-  return E.take();
+  Result.Source = E.take();
+  return Result;
+}
+
+CEmitResult scalarize::emitCWithHarnessChecked(const LoopProgram &LP,
+                                               const std::string &FnName,
+                                               uint64_t Seed) {
+  CEmitResult Result;
+  Emitter E(LP);
+  Result.Error = E.validate();
+  if (!Result.ok())
+    return Result;
+  E.emitPrelude();
+  E.emitKernel(FnName);
+  E.emitHarness(FnName, Seed);
+  Result.Source = E.take();
+  return Result;
+}
+
+CModule scalarize::emitCModule(const LoopProgram &LP,
+                               const std::string &FnName) {
+  CModule Module;
+  Emitter E(LP);
+  Module.Error = E.validate();
+  if (!Module.ok())
+    return Module;
+  E.emitPrelude();
+  E.emitKernel(FnName);
+  E.emitEntry(FnName);
+  Module.Source = E.take();
+  Module.EntryName = FnName + "_entry";
+  Module.Arrays = E.allocatedArrays();
+  Module.Scalars = E.programScalars();
+  return Module;
+}
+
+std::string scalarize::emitC(const LoopProgram &LP, const std::string &FnName) {
+  CEmitResult Result = emitCChecked(LP, FnName);
+  if (!Result.ok())
+    reportFatalError(Result.Error.c_str());
+  return std::move(Result.Source);
 }
 
 std::string scalarize::emitCWithHarness(const LoopProgram &LP,
                                         const std::string &FnName,
                                         uint64_t Seed) {
-  Emitter E(LP);
-  E.emitPrelude();
-  E.emitKernel(FnName);
-  E.emitHarness(FnName, Seed);
-  return E.take();
+  CEmitResult Result = emitCWithHarnessChecked(LP, FnName, Seed);
+  if (!Result.ok())
+    reportFatalError(Result.Error.c_str());
+  return std::move(Result.Source);
 }

@@ -26,17 +26,63 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace alf {
 namespace scalarize {
 
-/// Emits the kernel function \p FnName implementing \p LP.
+/// Status-returning outcome of C emission: the translation unit, or the
+/// reason the program cannot be emitted (Error nonempty). Callers that
+/// can recover — the native JIT's interpreter fallback above all — use
+/// the checked entry points; the legacy string-returning entry points
+/// abort on the same conditions.
+struct CEmitResult {
+  std::string Source;
+  std::string Error;
+
+  bool ok() const { return Error.empty(); }
+};
+
+/// A translation unit with a fixed-ABI entry point for dynamic loading,
+/// plus the metadata a caller needs to marshal arguments:
+///
+///   void <FnName>_entry(double **arrays, double *scalars);
+///
+/// `arrays[i]` is the caller-owned row-major buffer of `Arrays[i]`
+/// (footprint bounds, or the rolling-buffer bounds of a partially
+/// contracted array — identical to exec::Storage's allocation).
+/// `scalars[i]` is the in/out value of `Scalars[i]`.
+struct CModule {
+  std::string Source;
+  std::string EntryName;
+  std::vector<const ir::ArraySymbol *> Arrays;   ///< arrays[] order
+  std::vector<const ir::ScalarSymbol *> Scalars; ///< scalars[] order
+  std::string Error;
+
+  bool ok() const { return Error.empty(); }
+};
+
+/// Emits the kernel function \p FnName implementing \p LP. Aborts on
+/// unsupported constructs; prefer emitCChecked where recovery matters.
 std::string emitC(const lir::LoopProgram &LP, const std::string &FnName);
 
 /// Emits the kernel plus a self-contained main() harness seeded with
 /// \p Seed (matching exec::run's initialization).
 std::string emitCWithHarness(const lir::LoopProgram &LP,
                              const std::string &FnName, uint64_t Seed);
+
+/// Like emitC, but reports unsupported constructs as an error result
+/// instead of aborting.
+CEmitResult emitCChecked(const lir::LoopProgram &LP, const std::string &FnName);
+
+/// Like emitCWithHarness, but status-returning.
+CEmitResult emitCWithHarnessChecked(const lir::LoopProgram &LP,
+                                    const std::string &FnName, uint64_t Seed);
+
+/// Emits the kernel plus the `<FnName>_entry` ABI wrapper for the native
+/// JIT backend (exec/NativeJit). Status-returning: Error is set instead
+/// of aborting when the program cannot be emitted.
+CModule emitCModule(const lir::LoopProgram &LP, const std::string &FnName);
 
 } // namespace scalarize
 } // namespace alf

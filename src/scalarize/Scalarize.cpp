@@ -20,7 +20,9 @@ using namespace alf::xform;
 namespace {
 
 /// Kahn's algorithm with a min-heap: deterministic topological order that
-/// follows program order whenever dependences allow.
+/// follows program order whenever dependences allow. Returns an order
+/// shorter than \p Nodes when the edges form a cycle; callers decide
+/// whether that is recoverable.
 std::vector<unsigned>
 topoSort(const std::vector<unsigned> &Nodes,
          const std::vector<std::pair<unsigned, unsigned>> &Edges) {
@@ -47,14 +49,20 @@ topoSort(const std::vector<unsigned> &Nodes,
       if (--InDegree[T] == 0)
         Ready.push(T);
   }
-  if (Order.size() != Nodes.size())
-    alf_unreachable("cycle in graph handed to scalarization");
   return Order;
 }
 
 } // namespace
 
-lir::LoopProgram scalarize::scalarize(const ASDG &G, const StrategyResult &SR) {
+std::optional<lir::LoopProgram>
+scalarize::scalarizeChecked(const ASDG &G, const StrategyResult &SR,
+                            std::string *Error) {
+  auto Fail = [Error](const std::string &Why) -> std::optional<LoopProgram> {
+    if (Error)
+      *Error = Why;
+    return std::nullopt;
+  };
+
   const Program &Prog = G.getProgram();
   const FusionPartition &P = SR.Partition;
   LoopProgram LP(Prog);
@@ -72,6 +80,8 @@ lir::LoopProgram scalarize::scalarize(const ASDG &G, const StrategyResult &SR) {
   // Inter-cluster topological order.
   std::vector<unsigned> Clusters = P.clusters();
   std::vector<unsigned> ClusterOrder = topoSort(Clusters, P.clusterEdges());
+  if (ClusterOrder.size() != Clusters.size())
+    return Fail("cycle among fusible clusters");
 
   for (unsigned Cluster : ClusterOrder) {
     std::vector<unsigned> Members = P.members(Cluster);
@@ -104,6 +114,8 @@ lir::LoopProgram scalarize::scalarize(const ASDG &G, const StrategyResult &SR) {
       if (InCluster.count(E.Src) && InCluster.count(E.Tgt))
         IntraEdges.push_back({E.Src, E.Tgt});
     std::vector<unsigned> StmtOrder = topoSort(Members, IntraEdges);
+    if (StmtOrder.size() != Members.size())
+      return Fail("dependence cycle among the statements of one cluster");
 
     // Loop structure for the nest.
     auto Nest = std::make_unique<LoopNest>();
@@ -115,10 +127,10 @@ lir::LoopProgram scalarize::scalarize(const ASDG &G, const StrategyResult &SR) {
       Nest->R = cast<ReduceStmt>(First)->getRegion();
     auto UDVs = P.internalUDVs(std::set<unsigned>{Cluster});
     if (!UDVs)
-      alf_unreachable("unrepresentable dependence inside a fusible cluster");
+      return Fail("unrepresentable dependence inside a fusible cluster");
     auto LSV = findLoopStructure(*UDVs, Nest->R->rank());
     if (!LSV)
-      alf_unreachable("no loop structure vector for a fusible cluster");
+      return Fail("no loop structure vector for a fusible cluster");
     Nest->LSV = *LSV;
     Nest->UDVs = *UDVs;
 
@@ -157,6 +169,14 @@ lir::LoopProgram scalarize::scalarize(const ASDG &G, const StrategyResult &SR) {
     LP.addNode(std::move(Nest));
   }
   return LP;
+}
+
+lir::LoopProgram scalarize::scalarize(const ASDG &G, const StrategyResult &SR) {
+  std::string Error;
+  std::optional<LoopProgram> LP = scalarizeChecked(G, SR, &Error);
+  if (!LP)
+    reportFatalError(("scalarize: " + Error).c_str());
+  return std::move(*LP);
 }
 
 lir::LoopProgram scalarize::scalarizeWithStrategy(const ASDG &G, Strategy S) {

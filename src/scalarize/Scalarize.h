@@ -21,6 +21,9 @@
 #include "scalarize/LoopIR.h"
 #include "xform/Strategy.h"
 
+#include <optional>
+#include <string>
+
 namespace alf {
 namespace scalarize {
 
@@ -28,6 +31,16 @@ namespace scalarize {
 /// contracting the arrays in \p SR.Contracted.
 lir::LoopProgram scalarize(const analysis::ASDG &G,
                            const xform::StrategyResult &SR);
+
+/// Status-returning variant of scalarize(): instead of aborting on a
+/// partition the lowering cannot express (dependence cycle, a cluster
+/// with no representable UDVs or no legal loop structure vector), returns
+/// nullopt and describes the reason in \p Error (when non-null). The
+/// native JIT and other recovering callers use this; scalarize() wraps it
+/// and treats failure as an internal invariant violation.
+std::optional<lir::LoopProgram>
+scalarizeChecked(const analysis::ASDG &G, const xform::StrategyResult &SR,
+                 std::string *Error = nullptr);
 
 /// Convenience: apply \p S to \p G and scalarize the result.
 lir::LoopProgram scalarizeWithStrategy(const analysis::ASDG &G,

@@ -1,0 +1,58 @@
+//===- support/Process.cpp - Subprocess invocation --------------------------===//
+
+#include "support/Process.h"
+
+#include <csignal>
+#include <cstdio>
+#include <sys/wait.h>
+
+using namespace alf;
+
+CommandResult alf::runCommand(const std::string &Command,
+                              unsigned TimeoutSec) {
+  CommandResult Result;
+
+  // popen hands the string to /bin/sh -c; prefixing `ulimit -t` bounds the
+  // subtree's CPU time, and `exec` in a subshell keeps the limited process
+  // directly under the shell so signals surface in the wait status.
+  std::string Shell;
+  if (TimeoutSec > 0)
+    Shell = "{ ulimit -t " + std::to_string(TimeoutSec) + "; " + Command +
+            "; } 2>&1";
+  else
+    Shell = "{ " + Command + "; } 2>&1";
+
+  FILE *Pipe = popen(Shell.c_str(), "r");
+  if (!Pipe)
+    return Result;
+
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), Pipe)) > 0)
+    Result.Output.append(Buf, N);
+
+  int Status = pclose(Pipe);
+  if (Status == -1)
+    return Result;
+  if (WIFEXITED(Status)) {
+    Result.ExitCode = WEXITSTATUS(Status);
+    // ulimit kills with SIGXCPU/SIGKILL; a shell reports that as 128+sig.
+    if (TimeoutSec > 0 &&
+        (Result.ExitCode == 128 + SIGXCPU || Result.ExitCode == 128 + SIGKILL))
+      Result.TimedOut = true;
+  } else if (WIFSIGNALED(Status)) {
+    Result.ExitCode = 128 + WTERMSIG(Status);
+    if (TimeoutSec > 0 &&
+        (WTERMSIG(Status) == SIGXCPU || WTERMSIG(Status) == SIGKILL))
+      Result.TimedOut = true;
+  }
+  return Result;
+}
+
+std::string alf::commandFirstLine(const std::string &Command) {
+  CommandResult R = runCommand(Command);
+  if (!R.ok())
+    return "";
+  size_t NL = R.Output.find('\n');
+  return NL == std::string::npos ? R.Output : R.Output.substr(0, NL);
+}

@@ -1,0 +1,42 @@
+//===- support/Process.h - Subprocess invocation ---------------*- C++ -*-===//
+//
+// Part of the ALF project: array-level fusion and contraction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal subprocess helper for the native JIT backend: run a shell
+/// command with combined stdout/stderr capture and an optional CPU-time
+/// limit (enforced with `ulimit -t`, so a wedged compiler invocation is
+/// killed by the kernel rather than hanging the caller).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALF_SUPPORT_PROCESS_H
+#define ALF_SUPPORT_PROCESS_H
+
+#include <string>
+
+namespace alf {
+
+/// Outcome of one command invocation.
+struct CommandResult {
+  int ExitCode = -1;    ///< Process exit code; -1 when spawning failed.
+  bool TimedOut = false; ///< Killed by the CPU-time limit.
+  std::string Output;   ///< Combined stdout + stderr.
+
+  bool ok() const { return ExitCode == 0; }
+};
+
+/// Runs \p Command through the shell, capturing stdout and stderr. When
+/// \p TimeoutSec is nonzero the command runs under `ulimit -t` with that
+/// CPU-seconds budget; exceeding it reports TimedOut.
+CommandResult runCommand(const std::string &Command, unsigned TimeoutSec = 0);
+
+/// First line of \p Command's output, or "" when the command fails
+/// (convenience for probing tool versions).
+std::string commandFirstLine(const std::string &Command);
+
+} // namespace alf
+
+#endif // ALF_SUPPORT_PROCESS_H

@@ -39,8 +39,8 @@ const char *xform::getStrategyName(Strategy S) {
 }
 
 const std::vector<ExecMode> &xform::allExecModes() {
-  static const std::vector<ExecMode> All = {ExecMode::Sequential,
-                                            ExecMode::Parallel};
+  static const std::vector<ExecMode> All = {
+      ExecMode::Sequential, ExecMode::Parallel, ExecMode::NativeJit};
   return All;
 }
 
@@ -50,8 +50,17 @@ const char *xform::getExecModeName(ExecMode M) {
     return "sequential";
   case ExecMode::Parallel:
     return "parallel";
+  case ExecMode::NativeJit:
+    return "jit";
   }
   alf_unreachable("unhandled execution mode");
+}
+
+std::optional<ExecMode> xform::execModeNamed(const std::string &Name) {
+  for (ExecMode M : allExecModes())
+    if (Name == getExecModeName(M))
+      return M;
+  return std::nullopt;
 }
 
 StrategyResult xform::applyStrategy(const ASDG &G, Strategy S) {
@@ -107,7 +116,8 @@ StrategyResult xform::applyStrategy(const ASDG &G, Strategy S) {
   if (Pairwise)
     fuseAllPairwise(P);
 
-  StrategyResult Result{std::move(P), {}};
+  StrategyResult Result;
+  Result.Partition = std::move(P);
   Result.Contracted = contractibleArrays(Result.Partition, ContractSet);
   return Result;
 }

@@ -25,6 +25,8 @@
 #include "xform/Fusion.h"
 #include "xform/PartialContraction.h"
 
+#include <algorithm>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -43,27 +45,45 @@ const char *getStrategyName(Strategy S);
 
 /// How a scalarized program is executed. Orthogonal to the optimization
 /// strategy: any strategy's output can run sequentially (the reference
-/// interpreter) or on the tiled multithreaded executor, whose per-nest
-/// legality comes from the same UDVs fusion computed.
-enum class ExecMode { Sequential, Parallel };
+/// interpreter), on the tiled multithreaded executor (whose per-nest
+/// legality comes from the same UDVs fusion computed), or as a native
+/// kernel JIT-compiled from the emitted C with the system compiler
+/// (exec/NativeJit, falling back to the interpreter when no compiler is
+/// available).
+enum class ExecMode { Sequential, Parallel, NativeJit };
 
 /// All execution modes, sequential first.
 const std::vector<ExecMode> &allExecModes();
 
-/// Printable name ("sequential", "parallel").
+/// Printable name ("sequential", "parallel", "jit").
 const char *getExecModeName(ExecMode M);
+
+/// Looks up an execution mode by its printable name; nullopt when unknown.
+std::optional<ExecMode> execModeNamed(const std::string &Name);
 
 /// The outcome of applying a strategy to an ASDG: the fusion partition to
 /// scalarize with, and the set of arrays to contract during scalarization.
+/// `Contracted` keeps the deterministic presentation order; membership
+/// queries go through a sorted index because scalarization asks
+/// per-array per-statement.
 struct StrategyResult {
   FusionPartition Partition;
   std::vector<const ir::ArraySymbol *> Contracted;
 
   bool isContracted(const ir::ArraySymbol *A) const {
-    for (const ir::ArraySymbol *C : Contracted)
-      if (C == A)
-        return true;
-    return false;
+    if (Index.size() != Contracted.size())
+      rebuildIndex();
+    return std::binary_search(Index.begin(), Index.end(), A);
+  }
+
+private:
+  /// Pointer-sorted copy of Contracted, rebuilt lazily whenever the
+  /// public vector changed size (the only mutation the API performs).
+  mutable std::vector<const ir::ArraySymbol *> Index;
+
+  void rebuildIndex() const {
+    Index = Contracted;
+    std::sort(Index.begin(), Index.end());
   }
 };
 

@@ -1,0 +1,238 @@
+//===- tests/NativeJitTest.cpp - Native JIT backend tests -------------------===//
+//
+// The native backend's contract: bit-identity with the sequential
+// interpreter, a two-level kernel cache (memory within an engine, disk
+// across engines and processes) keyed by content hash, and a fallback
+// ladder that degrades every failure — missing compiler, failed compile,
+// corrupt cache entry — to the interpreter with the reason recorded.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/NativeJit.h"
+
+#include "analysis/ASDG.h"
+#include "exec/ParallelExecutor.h"
+#include "ir/Normalize.h"
+#include "scalarize/Scalarize.h"
+#include "support/Statistic.h"
+#include "xform/Strategy.h"
+
+#include "TestPrograms.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+using namespace alf;
+using namespace alf::analysis;
+using namespace alf::exec;
+using namespace alf::xform;
+
+namespace {
+
+bool HaveCompiler = JitEngine::compilerAvailable();
+
+/// A fresh cache directory unique to this test process, removed on
+/// destruction so runs never see each other's kernels.
+struct TempCacheDir {
+  std::string Path;
+  TempCacheDir() {
+    Path = (std::filesystem::temp_directory_path() /
+            ("alf-jit-test-" + std::to_string(getpid())))
+               .string();
+    std::filesystem::remove_all(Path);
+  }
+  ~TempCacheDir() {
+    std::error_code EC;
+    std::filesystem::remove_all(Path, EC);
+  }
+};
+
+lir::LoopProgram makeLoopProgram(ir::Program &P, Strategy S = Strategy::C2) {
+  ir::normalizeProgram(P);
+  ASDG G = ASDG::build(P);
+  return scalarize::scalarizeWithStrategy(G, S);
+}
+
+TEST(NativeJitTest, BitIdenticalToInterpreterAcrossStrategies) {
+  if (!HaveCompiler)
+    GTEST_SKIP() << "no usable system C compiler";
+  TempCacheDir Cache;
+  JitOptions Opts;
+  Opts.CacheDir = Cache.Path;
+  JitEngine Engine(Opts);
+
+  auto P = tp::makeUserTempPair();
+  ir::normalizeProgram(*P);
+  ASDG G = ASDG::build(*P);
+  for (Strategy S : allStrategies()) {
+    auto LP = scalarize::scalarizeWithStrategy(G, S);
+    RunResult Interp = run(LP, 7);
+    JitRunInfo Info;
+    RunResult Jit = Engine.run(LP, 7, &Info);
+    ASSERT_TRUE(Info.UsedJit) << Info.FallbackReason;
+    std::string Why;
+    EXPECT_TRUE(resultsMatch(Interp, Jit, 0.0, &Why))
+        << getStrategyName(S) << ": " << Why;
+  }
+}
+
+TEST(NativeJitTest, CacheMissThenMemoryHitThenDiskHit) {
+  if (!HaveCompiler)
+    GTEST_SKIP() << "no usable system C compiler";
+  TempCacheDir Cache;
+  JitOptions Opts;
+  Opts.CacheDir = Cache.Path;
+
+  auto P = tp::makeFigure2();
+  auto LP = makeLoopProgram(*P);
+
+  JitEngine First(Opts);
+  JitRunInfo Info;
+  First.run(LP, 3, &Info);
+  ASSERT_TRUE(Info.UsedJit) << Info.FallbackReason;
+  EXPECT_TRUE(Info.Compiled);
+  EXPECT_FALSE(Info.CacheHitMemory);
+  EXPECT_FALSE(Info.CacheHitDisk);
+  EXPECT_TRUE(std::filesystem::exists(Info.SoPath));
+  EXPECT_EQ(Info.SoPath, First.cachePathFor(LP));
+
+  // Same engine, same kernel: served from memory, not recompiled.
+  First.run(LP, 4, &Info);
+  EXPECT_TRUE(Info.UsedJit);
+  EXPECT_FALSE(Info.Compiled);
+  EXPECT_TRUE(Info.CacheHitMemory);
+
+  // A second engine over the same directory: loaded from disk.
+  JitEngine Second(Opts);
+  Second.run(LP, 5, &Info);
+  EXPECT_TRUE(Info.UsedJit);
+  EXPECT_FALSE(Info.Compiled);
+  EXPECT_TRUE(Info.CacheHitDisk);
+}
+
+TEST(NativeJitTest, CorruptCacheEntryIsDiscardedAndRecompiled) {
+  if (!HaveCompiler)
+    GTEST_SKIP() << "no usable system C compiler";
+  TempCacheDir Cache;
+  JitOptions Opts;
+  Opts.CacheDir = Cache.Path;
+
+  auto P = tp::makeFigure2();
+  auto LP = makeLoopProgram(*P);
+
+  {
+    JitEngine Engine(Opts);
+    JitRunInfo Info;
+    Engine.run(LP, 3, &Info);
+    ASSERT_TRUE(Info.UsedJit) << Info.FallbackReason;
+  }
+
+  // Truncate the entry: dlopen must reject it, the engine must discard
+  // it, recompile, and still produce the right answer.
+  JitEngine Engine(Opts);
+  std::string So = Engine.cachePathFor(LP);
+  ASSERT_FALSE(So.empty());
+  { std::ofstream(So, std::ios::trunc) << "not a shared object"; }
+
+  uint64_t CorruptBefore = getStatisticValue("jit", "NumJitCacheCorrupt");
+  JitRunInfo Info;
+  RunResult Jit = Engine.run(LP, 3, &Info);
+  EXPECT_TRUE(Info.UsedJit) << Info.FallbackReason;
+  EXPECT_TRUE(Info.Compiled);
+  EXPECT_FALSE(Info.CacheHitDisk);
+  EXPECT_EQ(getStatisticValue("jit", "NumJitCacheCorrupt"),
+            CorruptBefore + 1);
+  std::string Why;
+  EXPECT_TRUE(resultsMatch(run(LP, 3), Jit, 0.0, &Why)) << Why;
+}
+
+TEST(NativeJitTest, CompileFailureFallsBackToInterpreter) {
+  TempCacheDir Cache;
+  JitOptions Opts;
+  Opts.CacheDir = Cache.Path;
+  Opts.Compiler = "/nonexistent/alf-no-such-compiler";
+  JitEngine Engine(Opts);
+
+  auto P = tp::makeFigure2();
+  auto LP = makeLoopProgram(*P);
+
+  uint64_t FallbacksBefore = getStatisticValue("jit", "NumJitFallbacks");
+  JitRunInfo Info;
+  RunResult Res = Engine.run(LP, 11, &Info);
+  EXPECT_FALSE(Info.UsedJit);
+  EXPECT_NE(Info.FallbackReason.find("not available"), std::string::npos)
+      << Info.FallbackReason;
+  EXPECT_EQ(getStatisticValue("jit", "NumJitFallbacks"), FallbacksBefore + 1);
+
+  // The fallback result is the interpreter's, exactly.
+  std::string Why;
+  EXPECT_TRUE(resultsMatch(run(LP, 11), Res, 0.0, &Why)) << Why;
+}
+
+TEST(NativeJitTest, BadFlagsCountAsCompileFailure) {
+  if (!HaveCompiler)
+    GTEST_SKIP() << "no usable system C compiler";
+  TempCacheDir Cache;
+  JitOptions Opts;
+  Opts.CacheDir = Cache.Path;
+  Opts.Flags = "-std=c99 -fPIC -shared --alf-definitely-not-a-flag";
+  JitEngine Engine(Opts);
+
+  auto P = tp::makeFigure2();
+  auto LP = makeLoopProgram(*P);
+
+  uint64_t FailuresBefore =
+      getStatisticValue("jit", "NumJitCompileFailures");
+  JitRunInfo Info;
+  RunResult Res = Engine.run(LP, 13, &Info);
+  EXPECT_FALSE(Info.UsedJit);
+  EXPECT_TRUE(Info.Compiled);
+  EXPECT_NE(Info.FallbackReason.find("compile failed"), std::string::npos)
+      << Info.FallbackReason;
+  EXPECT_EQ(getStatisticValue("jit", "NumJitCompileFailures"),
+            FailuresBefore + 1);
+  std::string Why;
+  EXPECT_TRUE(resultsMatch(run(LP, 13), Res, 0.0, &Why)) << Why;
+}
+
+TEST(NativeJitTest, ExecModeDispatchesToJit) {
+  auto P = tp::makeTomcatvFragment();
+  auto LP = makeLoopProgram(*P, Strategy::C2F3);
+  // Works with or without a compiler: NativeJit degrades to the
+  // interpreter, so runWithMode always agrees with exec::run.
+  RunResult Seq = run(LP, 21);
+  RunResult Jit = runWithMode(LP, 21, ExecMode::NativeJit);
+  std::string Why;
+  EXPECT_TRUE(resultsMatch(Seq, Jit, 0.0, &Why)) << Why;
+}
+
+TEST(NativeJitTest, ScalarizeCheckedReportsSuccess) {
+  auto P = tp::makeFigure2();
+  ir::normalizeProgram(*P);
+  ASDG G = ASDG::build(*P);
+  StrategyResult SR = applyStrategy(G, Strategy::C2);
+  std::string Error;
+  auto LP = scalarize::scalarizeChecked(G, SR, &Error);
+  ASSERT_TRUE(LP.has_value()) << Error;
+  EXPECT_TRUE(Error.empty());
+}
+
+TEST(NativeJitTest, ContractedLookupMatchesLinearScan) {
+  auto P = tp::makeUserTempPair();
+  ir::normalizeProgram(*P);
+  ASDG G = ASDG::build(*P);
+  StrategyResult SR = applyStrategy(G, Strategy::C2);
+  ASSERT_FALSE(SR.Contracted.empty());
+  for (const auto *A : SR.Contracted)
+    EXPECT_TRUE(SR.isContracted(A));
+  for (const ir::ArraySymbol *Sym : G.getProgram().arrays()) {
+    bool Linear = std::find(SR.Contracted.begin(), SR.Contracted.end(),
+                            Sym) != SR.Contracted.end();
+    EXPECT_EQ(SR.isContracted(Sym), Linear) << Sym->getName();
+  }
+}
+
+} // namespace

@@ -302,7 +302,11 @@ TEST(ParallelExecTest, RandomProgramsMatchOnAllThreadCounts) {
 TEST(ParallelExecTest, ExecModeDispatchAndNames) {
   EXPECT_STREQ(getExecModeName(ExecMode::Sequential), "sequential");
   EXPECT_STREQ(getExecModeName(ExecMode::Parallel), "parallel");
-  EXPECT_EQ(allExecModes().size(), 2u);
+  EXPECT_STREQ(getExecModeName(ExecMode::NativeJit), "jit");
+  EXPECT_EQ(allExecModes().size(), 3u);
+  ASSERT_TRUE(execModeNamed("jit").has_value());
+  EXPECT_EQ(*execModeNamed("jit"), ExecMode::NativeJit);
+  EXPECT_FALSE(execModeNamed("warp").has_value());
 
   auto P = tp::makeUserTempPair();
   ASDG G = ASDG::build(*P);

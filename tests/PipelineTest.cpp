@@ -1,0 +1,111 @@
+//===- tests/PipelineTest.cpp - driver::Pipeline facade tests ---------------===//
+//
+// The Pipeline facade must produce exactly what the hand-assembled chain
+// (normalize -> ASDG -> applyStrategy -> scalarize -> comm -> execute)
+// produces, under every communication policy and execution mode.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+
+#include "analysis/ASDG.h"
+#include "comm/CommInsertion.h"
+#include "exec/Interpreter.h"
+#include "ir/Normalize.h"
+#include "scalarize/Scalarize.h"
+
+#include "TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace alf;
+using namespace alf::driver;
+using namespace alf::exec;
+using namespace alf::xform;
+
+namespace {
+
+TEST(PipelineTest, MatchesHandAssembledChain) {
+  auto Manual = tp::makeUserTempPair();
+  ir::normalizeProgram(*Manual);
+  analysis::ASDG G = analysis::ASDG::build(*Manual);
+
+  auto Facade = tp::makeUserTempPair();
+  Pipeline PL(*Facade);
+
+  for (Strategy S : allStrategies()) {
+    auto Expected = scalarize::scalarizeWithStrategy(G, S);
+    EXPECT_EQ(PL.scalarize(S).str(), Expected.str()) << getStrategyName(S);
+  }
+}
+
+TEST(PipelineTest, LoopLevelCommPolicyMatchesManualInsertion) {
+  auto Manual = tp::makeFigure2();
+  ir::normalizeProgram(*Manual);
+  analysis::ASDG G = analysis::ASDG::build(*Manual);
+  auto Expected = scalarize::scalarizeWithStrategy(G, Strategy::C2F3);
+  comm::insertLoopLevelComm(Expected);
+
+  auto Facade = tp::makeFigure2();
+  PipelineOptions Opts;
+  Opts.Comm = CommPolicy::LoopLevel;
+  Pipeline PL(*Facade, Opts);
+  EXPECT_EQ(PL.scalarize(Strategy::C2F3).str(), Expected.str());
+}
+
+TEST(PipelineTest, ArrayLevelCommPolicyMatchesManualInsertion) {
+  auto Manual = tp::makeFigure2();
+  ir::normalizeProgram(*Manual);
+  comm::insertArrayLevelComm(*Manual, /*Pipelined=*/true);
+  analysis::ASDG G = analysis::ASDG::build(*Manual);
+  auto Expected = scalarize::scalarizeWithStrategy(G, Strategy::C2F3);
+
+  auto Facade = tp::makeFigure2();
+  PipelineOptions Opts;
+  Opts.Comm = CommPolicy::ArrayLevel;
+  Pipeline PL(*Facade, Opts);
+  EXPECT_EQ(PL.scalarize(Strategy::C2F3).str(), Expected.str());
+}
+
+TEST(PipelineTest, AllExecModesAgree) {
+  auto P = tp::makeUserTempPair();
+  Pipeline PL(*P);
+  RunResult Seq = PL.run(Strategy::C2, ExecMode::Sequential, 5);
+  for (ExecMode Mode : allExecModes()) {
+    RunResult Res = PL.run(Strategy::C2, Mode, 5);
+    std::string Why;
+    EXPECT_TRUE(resultsMatch(Seq, Res, 0.0, &Why))
+        << getExecModeName(Mode) << ": " << Why;
+  }
+}
+
+TEST(PipelineTest, StrategyAndAsdgAreServedFromSharedAnalysis) {
+  auto P = tp::makeUserTempPair();
+  Pipeline PL(*P);
+  const analysis::ASDG &G1 = PL.asdg();
+  const analysis::ASDG &G2 = PL.asdg();
+  EXPECT_EQ(&G1, &G2); // built once
+  StrategyResult SR = PL.strategy(Strategy::C2);
+  EXPECT_FALSE(SR.Partition.numClusters() == 0);
+  auto LP = PL.scalarize(SR);
+  RunResult Res = PL.run(LP, ExecMode::Sequential, 3);
+  std::string Why;
+  EXPECT_TRUE(resultsMatch(run(LP, 3), Res, 0.0, &Why)) << Why;
+}
+
+TEST(PipelineTest, OneShotRunProgram) {
+  auto A = tp::makeTomcatvFragment();
+  auto B = tp::makeTomcatvFragment();
+  ir::normalizeProgram(*B);
+  analysis::ASDG G = analysis::ASDG::build(*B);
+  auto LP = scalarize::scalarizeWithStrategy(G, Strategy::F1);
+  std::string Why;
+  EXPECT_TRUE(resultsMatch(
+      run(LP, 9),
+      Pipeline::runProgram(*A, Strategy::F1, ExecMode::Sequential,
+                           PipelineOptions(), 9),
+      0.0, &Why))
+      << Why;
+}
+
+} // namespace

@@ -12,6 +12,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "exec/Interpreter.h"
+#include "exec/NativeJit.h"
 #include "exec/ParallelExecutor.h"
 #include "ir/Generator.h"
 #include "ir/Normalize.h"
@@ -91,6 +92,40 @@ TEST_P(StressSweepTest, AllStrategiesAndExecutorsAgree) {
     ASSERT_TRUE(
         resultsMatch(BaseRes, runParallel(LP, RunSeed, Opts), 0.0, &Why))
         << "partial contraction parallel diverged: " << Why << "\n"
+        << P->str();
+  }
+}
+
+// The same sweep through the native JIT backend. A strategy subset keeps
+// the number of distinct kernels (hence compiler invocations on a cold
+// cache) bounded; the process-wide engine honors $ALF_JIT_CACHE_DIR, so
+// CI reruns hit the disk cache and compile nothing.
+TEST_P(StressSweepTest, NativeJitAgrees) {
+  if (!JitEngine::compilerAvailable())
+    GTEST_SKIP() << "no usable system C compiler";
+
+  uint64_t Seed = GetParam();
+  GeneratorConfig Cfg = sweepConfig(Seed);
+  auto P = generateRandomProgram(Cfg);
+  normalizeProgram(*P);
+  ASSERT_TRUE(isWellFormed(*P)) << P->str();
+  ASDG G = ASDG::build(*P);
+
+  uint64_t RunSeed = Seed ^ 0xfeed;
+  auto Base = scalarize::scalarizeWithStrategy(G, Strategy::Baseline);
+  RunResult BaseRes = run(Base, RunSeed);
+
+  for (Strategy S : {Strategy::Baseline, Strategy::C2, Strategy::C2F3}) {
+    auto LP = scalarize::scalarizeWithStrategy(G, S);
+    JitRunInfo Info;
+    RunResult JitRes = runNativeJit(LP, RunSeed, &Info);
+    ASSERT_TRUE(Info.UsedJit)
+        << getStrategyName(S)
+        << " fell back to the interpreter: " << Info.FallbackReason << "\n"
+        << P->str();
+    std::string Why;
+    ASSERT_TRUE(resultsMatch(BaseRes, JitRes, 0.0, &Why))
+        << getStrategyName(S) << " jit diverged: " << Why << "\n"
         << P->str();
   }
 }

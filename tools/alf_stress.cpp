@@ -9,24 +9,32 @@
 // ranks 1-3, explicit target offsets and mixed regions.
 //
 // Usage: alf_stress [--count=N] [--seed=S] [--procs=P] [--threads=T]
-//                   [--emit-c]
+//                   [--emit-c] [--exec=sequential|parallel|jit]
+//
+// --exec=jit additionally runs every strategy through the native JIT
+// backend (one shared engine, so the kernel cache is exercised) and
+// requires bit-identity with the interpreter oracle; it skips cleanly
+// when no system compiler is available.
 //
 // Exits nonzero on the first divergence, printing the offending program.
 //
 //===----------------------------------------------------------------------===//
 
-#include "analysis/ASDG.h"
 #include "comm/CommInsertion.h"
 #include "distsim/DistInterpreter.h"
+#include "driver/Pipeline.h"
 #include "exec/Interpreter.h"
+#include "exec/NativeJit.h"
 #include "exec/ParallelExecutor.h"
 #include "ir/Generator.h"
-#include "ir/Normalize.h"
 #include "ir/Verifier.h"
 #include "scalarize/CEmitter.h"
 #include "scalarize/Scalarize.h"
+#include "support/Statistic.h"
 #include "support/StringUtil.h"
 #include "xform/Strategy.h"
+
+#include <memory>
 
 #include <cmath>
 #include <cstdio>
@@ -52,6 +60,7 @@ struct Stats {
   unsigned PartialPlans = 0;
   unsigned DistRuns = 0;
   unsigned CCompiles = 0;
+  unsigned JitRuns = 0;
 };
 
 /// Fails loudly with the program text for reproduction.
@@ -106,6 +115,7 @@ int main(int argc, char **argv) {
   unsigned Procs = 4;
   unsigned Threads = 4;
   bool EmitC = false;
+  ExecMode Mode = ExecMode::Sequential;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg.rfind("--count=", 0) == 0)
@@ -118,9 +128,17 @@ int main(int argc, char **argv) {
       Threads = static_cast<unsigned>(std::atoi(Arg.c_str() + 10));
     else if (Arg == "--emit-c")
       EmitC = true;
-    else {
+    else if (Arg.rfind("--exec=", 0) == 0) {
+      std::optional<ExecMode> M = execModeNamed(Arg.substr(7));
+      if (!M) {
+        std::cerr << "unknown execution mode '" << Arg.substr(7) << "'\n";
+        return 2;
+      }
+      Mode = *M;
+    } else {
       std::cerr << "usage: alf_stress [--count=N] [--seed=S] [--procs=P] "
-                   "[--threads=T] [--emit-c]\n";
+                   "[--threads=T] [--emit-c] "
+                   "[--exec=sequential|parallel|jit]\n";
       return 2;
     }
   }
@@ -128,6 +146,17 @@ int main(int argc, char **argv) {
   bool HaveCC = EmitC && std::system("cc --version > /dev/null 2>&1") == 0;
   if (EmitC && !HaveCC)
     std::cerr << "note: no system C compiler; skipping --emit-c checks\n";
+
+  // One engine for the whole run: repeated kernels hit the in-memory
+  // cache, and a warm on-disk cache (e.g. in CI) skips compiles entirely.
+  std::unique_ptr<JitEngine> Jit;
+  if (Mode == ExecMode::NativeJit) {
+    if (JitEngine::compilerAvailable())
+      Jit = std::make_unique<JitEngine>();
+    else
+      std::cerr << "note: no system C compiler; skipping --exec=jit "
+                   "checks\n";
+  }
 
   Stats S;
   for (unsigned Iter = 0; Iter < Count; ++Iter) {
@@ -145,27 +174,42 @@ int main(int argc, char **argv) {
     Cfg.AddOpaque = ProgSeed % 7 == 0;
 
     auto P = generateRandomProgram(Cfg);
-    normalizeProgram(*P);
-    if (!isWellFormed(*P))
+    driver::Pipeline PL(*P);
+    if (!isWellFormed(PL.program()))
       fail(*P, "normalized program failed verification");
     ++S.Programs;
 
-    ASDG G = ASDG::build(*P);
-    auto Base = scalarize::scalarizeWithStrategy(G, Strategy::Baseline);
+    const ASDG &G = PL.asdg();
+    auto Base = PL.scalarize(Strategy::Baseline);
     RunResult BaseRes = run(Base, ProgSeed ^ 0xfeed);
 
     for (Strategy Strat : allStrategies()) {
-      StrategyResult SR = applyStrategy(G, Strat);
+      StrategyResult SR = PL.strategy(Strat);
       if (!isValidPartition(SR.Partition))
         fail(*P, formatString("invalid partition under %s",
                               getStrategyName(Strat)));
       S.Contractions += static_cast<unsigned>(SR.Contracted.size());
-      auto LP = scalarize::scalarize(G, SR);
+      auto LP = PL.scalarize(SR);
       std::string Why;
       if (!resultsMatch(BaseRes, run(LP, ProgSeed ^ 0xfeed), 0.0, &Why))
         fail(*P, formatString("%s diverged: %s", getStrategyName(Strat),
                               Why.c_str()));
       ++S.StrategyRuns;
+
+      // Native JIT execution: every strategy's kernel must be
+      // bit-identical to the interpreter oracle.
+      if (Jit) {
+        JitRunInfo Info;
+        RunResult JitRes = Jit->run(LP, ProgSeed ^ 0xfeed, &Info);
+        if (!resultsMatch(BaseRes, JitRes, 0.0, &Why))
+          fail(*P, formatString("%s jit diverged: %s", getStrategyName(Strat),
+                                Why.c_str()));
+        if (!Info.UsedJit)
+          fail(*P, formatString("%s jit fell back to the interpreter: %s",
+                                getStrategyName(Strat),
+                                Info.FallbackReason.c_str()));
+        ++S.JitRuns;
+      }
 
       // Multithreaded tiled execution of the same program; results must
       // be bit-identical to the sequential oracle.
@@ -235,5 +279,12 @@ int main(int argc, char **argv) {
             << "  partial plans:   " << S.PartialPlans << '\n'
             << "  distributed runs:" << S.DistRuns << '\n'
             << "  C compilations:  " << S.CCompiles << '\n';
+  if (Jit)
+    std::cout << "  jit runs:        " << S.JitRuns << " ("
+              << getStatisticValue("jit", "NumJitCompiles") << " compiles, "
+              << getStatisticValue("jit", "NumJitCacheMemoryHits")
+              << " memory hits, "
+              << getStatisticValue("jit", "NumJitCacheDiskHits")
+              << " disk hits; cache: " << Jit->cacheDir() << ")\n";
   return 0;
 }
