@@ -1,0 +1,84 @@
+//===- examples/runtime_jacobi.cpp - Lazy arrays, fused at flush --------------===//
+//
+// The runtime engine demonstrated on Jacobi iteration: array expressions
+// build a trace instead of executing, a flush runs the whole trace through
+// fusion-for-contraction, and because every iteration issues the same
+// trace shape, the structural trace cache makes steady-state flushes pay
+// zero analysis (and, under --jit, zero kernel compiles after the first).
+//
+// Run:  ./runtime_jacobi [--jit] [--parallel]
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Runtime.h"
+
+#include <cstring>
+#include <iostream>
+
+using namespace alf;
+using namespace alf::runtime;
+
+int main(int argc, char **argv) {
+  EngineOptions Opts;
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--jit"))
+      Opts.Mode = xform::ExecMode::NativeJit;
+    else if (!std::strcmp(argv[I], "--parallel"))
+      Opts.Mode = xform::ExecMode::Parallel;
+    else {
+      std::cerr << "usage: runtime_jacobi [--jit] [--parallel]\n";
+      return 2;
+    }
+  }
+  Engine E(Opts);
+
+  // A 2-D grid, hot boundary on the left column.
+  const int64_t N = 64;
+  Array U = E.input("U", ir::Region({0, 0}, {N + 1, N + 1}));
+  for (int64_t I = 0; I <= N + 1; ++I)
+    U.set({I, 0}, 1.0);
+
+  ir::Region Interior({1, 1}, {N, N});
+  double Delta = 1.0;
+  unsigned Iters = 0;
+  while (Delta > 1e-4 && Iters < 200) {
+    // One sweep: the four-point average, the pointwise residual, its
+    // reduction, and the write-back are ONE trace. Both temporaries'
+    // handles die before the flush that Delta's observation triggers, so
+    // liveness classifies them dead and fusion-for-contraction decides:
+    // D fuses into its reduction and vanishes entirely; V survives
+    // because Jacobi's write-back legally cannot fuse with a stencil
+    // that still reads the old grid.
+    Scalar Residual;
+    {
+      Array V = E.compute(Interior,
+                          (shift(U, {-1, 0}) + shift(U, {1, 0}) +
+                           shift(U, {0, -1}) + shift(U, {0, 1})) *
+                              Ex(0.25));
+      Array D = E.compute(Interior, eabs(Ex(V) - Ex(U)));
+      Residual = E.reduce(RedOp::Max, Interior, Ex(D));
+      E.update(U, ir::Offset({0, 0}), Interior, Ex(V));
+    }
+    Delta = Residual.value(); // observation: flush, fuse, execute
+    ++Iters;
+  }
+
+  const EngineStats &S = E.stats();
+  std::cout << "converged after " << Iters << " sweeps, delta " << Delta
+            << "\n"
+            << "statements recorded: " << S.StmtsRecorded << "\n"
+            << "flushes:             " << S.Flushes << "\n"
+            << "trace-cache hits:    " << S.CacheHits << " ("
+            << S.CacheMisses << " misses)\n"
+            << "kernels compiled:    " << S.KernelCompiles << "\n"
+            << "last flush: " << E.lastFlush().TraceLen << " statements in "
+            << E.lastFlush().Clusters << " clusters, "
+            << E.lastFlush().Contracted << " arrays contracted\n";
+
+  // Every flush after the first must have been served by the cache.
+  if (S.Flushes > 1 && S.CacheMisses != 1) {
+    std::cerr << "expected exactly one trace-cache miss\n";
+    return 1;
+  }
+  return 0;
+}

@@ -126,7 +126,7 @@ int main(int argc, char **argv) {
     }
     std::ifstream In(Arg);
     if (!In) {
-      std::cerr << "zplc: cannot open " << Arg << '\n';
+      std::cerr << "zplc: error: cannot open " << Arg << '\n';
       return 1;
     }
     std::ostringstream Buf;
@@ -137,8 +137,16 @@ int main(int argc, char **argv) {
 
   frontend::ParseResult Result = frontend::parseProgram(Source, FileName);
   if (!Result.succeeded()) {
-    for (const std::string &E : Result.Errors)
-      std::cerr << FileName << ":" << E << '\n';
+    // Parser errors carry "line:col: message"; render them as standard
+    // compiler diagnostics so editors and CI can jump to the position.
+    for (const std::string &E : Result.Errors) {
+      size_t Sep = E.find(": ");
+      if (Sep == std::string::npos)
+        std::cerr << FileName << ": error: " << E << '\n';
+      else
+        std::cerr << FileName << ':' << E.substr(0, Sep)
+                  << ": error: " << E.substr(Sep + 2) << '\n';
+    }
     return 1;
   }
   ir::Program &P = *Result.Prog;
@@ -147,8 +155,10 @@ int main(int argc, char **argv) {
   unsigned Temps = ir::normalizeProgram(P);
   auto Errors = ir::verifyProgram(P);
   if (!Errors.empty()) {
+    // Verifier findings have no source position; still use the
+    // "error:" marker and a nonzero exit.
     for (const std::string &E : Errors)
-      std::cerr << FileName << ": " << E << '\n';
+      std::cerr << FileName << ": error: " << E << '\n';
     return 1;
   }
 

@@ -57,6 +57,16 @@ lir::LoopProgram Pipeline::scalarize(const StrategyResult &SR) {
   return LP;
 }
 
+CompiledProgram Pipeline::compile(Strategy S) {
+  StrategyResult SR = strategy(S);
+  std::vector<std::string> Names;
+  Names.reserve(SR.Contracted.size());
+  for (const ir::ArraySymbol *A : SR.Contracted)
+    Names.push_back(A->getName());
+  return CompiledProgram{scalarize(SR), SR.Partition.numClusters(),
+                         std::move(Names)};
+}
+
 RunResult Pipeline::run(const lir::LoopProgram &LP, ExecMode Mode,
                         uint64_t Seed, JitRunInfo *JitInfo) {
   if (Mode == ExecMode::NativeJit)

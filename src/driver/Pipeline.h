@@ -67,6 +67,17 @@ struct PipelineOptions {
   exec::JitOptions Jit;
 };
 
+/// One strategy's full compilation artifact, movable so callers can cache
+/// it and re-execute without re-analysis: the scalarized loop program plus
+/// the summary numbers the analysis produced. The loop program references
+/// symbols of the pipeline's ir::Program, so a cached artifact must not
+/// outlive that program (the runtime engine's trace cache owns both).
+struct CompiledProgram {
+  lir::LoopProgram LP;
+  unsigned NumClusters = 0;                 ///< fused clusters (the paper's l)
+  std::vector<std::string> ContractedNames; ///< fully contracted arrays
+};
+
 /// Facade over the parse/normalize -> ASDG -> strategy -> scalarize ->
 /// execute chain for one program. Not thread-safe; create one per thread.
 /// The wrapped program must outlive the pipeline (the ASDG and every
@@ -97,6 +108,13 @@ public:
   /// As above, for a strategy result the caller has already computed (and
   /// possibly inspected or adjusted).
   lir::LoopProgram scalarize(const xform::StrategyResult &SR);
+
+  /// Analysis + strategy + scalarization bundled into one movable
+  /// artifact. This is the unit the runtime engine's trace cache stores:
+  /// a warm flush re-executes the artifact's loop program (via the
+  /// *OnStorage entry points) without touching the ASDG or the strategy
+  /// machinery again.
+  CompiledProgram compile(xform::Strategy S);
 
   /// Runs \p S under \p Mode on inputs seeded by \p Seed. All modes have
   /// the same observable semantics (NativeJit falls back to the

@@ -13,8 +13,7 @@ using namespace alf::exec;
 using namespace alf::ir;
 using namespace alf::lir;
 
-RunResult exec::run(const LoopProgram &LP, uint64_t Seed) {
-  Storage Store = allocateStorage(LP, Seed);
+void exec::runOnStorage(const LoopProgram &LP, Storage &Store) {
   EvalContext Ctx;
   Ctx.Store = &Store;
   Ctx.LP = &LP;
@@ -28,6 +27,11 @@ RunResult exec::run(const LoopProgram &LP, uint64_t Seed) {
       continue; // single address space: halo exchange is a no-op
     execOpaqueStmt(*cast<OpaqueOp>(NodePtr.get())->Src, Ctx);
   }
+}
+
+RunResult exec::run(const LoopProgram &LP, uint64_t Seed) {
+  Storage Store = allocateStorage(LP, Seed);
+  runOnStorage(LP, Store);
   return collectResults(LP, Store);
 }
 

@@ -40,6 +40,14 @@ struct RunResult {
 /// every strategy of the same program sees identical inputs.
 RunResult run(const lir::LoopProgram &LP, uint64_t Seed);
 
+/// Executes \p LP against caller-provided storage, in place: buffers and
+/// scalars are read and written as they are, nothing is allocated or
+/// seeded. The runtime engine uses this to rebind a cached loop program
+/// to the live buffers of the current trace; `run` is allocate + this +
+/// collectResults. \p Store must have a buffer for every allocated
+/// (non-contracted) array of \p LP.
+void runOnStorage(const lir::LoopProgram &LP, Storage &Store);
+
 /// Compares two run results; on mismatch, describes the first difference
 /// in \p WhyNot (when non-null). \p Tol is an absolute tolerance (0 for
 /// exact comparison; optimization preserves bitwise results here).

@@ -8,6 +8,7 @@
 #include "support/Statistic.h"
 #include "support/StringUtil.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <dlfcn.h>
 #include <filesystem>
@@ -33,6 +34,8 @@ ALF_STATISTIC(NumJitCacheCorrupt, "jit",
               "Corrupt on-disk cache entries discarded");
 ALF_STATISTIC(NumJitFallbacks, "jit",
               "Runs that fell back to the sequential interpreter");
+ALF_STATISTIC(NumJitCacheEvictions, "jit",
+              "On-disk cache entries evicted by the size bound");
 
 /// The kernel function name inside every emitted module.
 constexpr const char *KernelName = "alf_kernel";
@@ -60,6 +63,63 @@ std::string soPathFor(const std::string &CacheDir, uint64_t Hash) {
   return CacheDir + "/" +
          formatString("alf-%016llx.so",
                       static_cast<unsigned long long>(Hash));
+}
+
+uint64_t fileSizeOrZero(const std::filesystem::path &P) {
+  std::error_code EC;
+  uint64_t Size = std::filesystem::file_size(P, EC);
+  return EC ? 0 : Size;
+}
+
+/// Shrinks the cache directory to \p MaxBytes by deleting whole entries
+/// (.so plus paired .c) oldest-mtime first, never touching \p KeepSo.
+/// Eviction only ever removes alf-*.so entries, so foreign files in a
+/// shared temp directory are counted but left alone.
+void evictCacheOverage(const std::string &CacheDir, uint64_t MaxBytes,
+                       const std::string &KeepSo) {
+  namespace fs = std::filesystem;
+  struct Entry {
+    fs::path So;
+    fs::file_time_type MTime;
+    uint64_t Bytes;
+  };
+  std::error_code EC;
+  std::vector<Entry> Entries;
+  uint64_t Total = 0;
+  for (const auto &DirEnt : fs::directory_iterator(CacheDir, EC)) {
+    if (!DirEnt.is_regular_file(EC))
+      continue;
+    fs::path P = DirEnt.path();
+    if (P.filename().string().rfind("alf-", 0) != 0)
+      continue;
+    uint64_t Size = fileSizeOrZero(P);
+    Total += Size;
+    if (P.extension() != ".so")
+      continue;
+    Entry E;
+    E.So = P;
+    E.MTime = fs::last_write_time(P, EC);
+    fs::path Src = P;
+    Src.replace_extension(".c");
+    E.Bytes = Size + fileSizeOrZero(Src);
+    Entries.push_back(std::move(E));
+  }
+  if (Total <= MaxBytes)
+    return;
+  std::sort(Entries.begin(), Entries.end(),
+            [](const Entry &A, const Entry &B) { return A.MTime < B.MTime; });
+  for (const Entry &E : Entries) {
+    if (Total <= MaxBytes)
+      break;
+    if (E.So.string() == KeepSo)
+      continue;
+    fs::path Src = E.So;
+    Src.replace_extension(".c");
+    fs::remove(E.So, EC);
+    fs::remove(Src, EC);
+    Total = Total > E.Bytes ? Total - E.Bytes : 0;
+    ++NumJitCacheEvictions;
+  }
 }
 
 } // namespace
@@ -125,6 +185,10 @@ JitEngine::LoadedKernel *JitEngine::kernelFor(const scalarize::CModule &Module,
       if (LoadedKernel *Kernel = LoadEntry(Handle)) {
         Info.CacheHitDisk = true;
         ++NumJitCacheDiskHits;
+        // Refresh the entry's age so the LRU eviction bound keeps hot
+        // kernels and drops cold ones.
+        std::filesystem::last_write_time(
+            Info.SoPath, std::filesystem::file_time_type::clock::now(), EC);
         return Kernel;
       }
       dlclose(Handle);
@@ -173,6 +237,8 @@ JitEngine::LoadedKernel *JitEngine::kernelFor(const scalarize::CModule &Module,
     WhyNot = "cannot install compiled kernel into the cache";
     return nullptr;
   }
+  if (Opts.MaxCacheBytes)
+    evictCacheOverage(Opts.CacheDir, Opts.MaxCacheBytes, Info.SoPath);
 
   void *Handle = dlopen(Info.SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
   if (!Handle) {
@@ -187,8 +253,8 @@ JitEngine::LoadedKernel *JitEngine::kernelFor(const scalarize::CModule &Module,
   return nullptr;
 }
 
-RunResult JitEngine::run(const LoopProgram &LP, uint64_t Seed,
-                         JitRunInfo *OutInfo) {
+void JitEngine::runOnStorage(const LoopProgram &LP, Storage &Store,
+                             JitRunInfo *OutInfo) {
   ++NumJitRuns;
   JitRunInfo Info;
   std::string WhyNot;
@@ -198,33 +264,33 @@ RunResult JitEngine::run(const LoopProgram &LP, uint64_t Seed,
     WhyNot = "emission failed: " + Module.Error;
   else
     Kernel = kernelFor(Module, Info, WhyNot);
-  if (!Kernel) {
-    ++NumJitFallbacks;
-    Info.FallbackReason = WhyNot;
-    if (OutInfo)
-      *OutInfo = Info;
-    return exec::run(LP, Seed);
-  }
 
   // Marshal the caller-owned buffers in the module's argument order. The
   // emitter's layouts are computed from the same footprint bounds (and
   // partial-contraction overrides) Storage allocates with, so raw
   // pointers line up element for element.
-  Storage Store = allocateStorage(LP, Seed);
   std::vector<double *> Arrays;
-  Arrays.reserve(Module.Arrays.size());
-  for (const ArraySymbol *A : Module.Arrays) {
-    ArrayBuffer *Buf = Store.buffer(A);
-    if (!Buf) {
-      ++NumJitFallbacks;
-      Info.FallbackReason =
-          "array '" + A->getName() + "' missing from storage";
-      if (OutInfo)
-        *OutInfo = Info;
-      return exec::run(LP, Seed);
+  if (Kernel) {
+    Arrays.reserve(Module.Arrays.size());
+    for (const ArraySymbol *A : Module.Arrays) {
+      ArrayBuffer *Buf = Store.buffer(A);
+      if (!Buf) {
+        WhyNot = "array '" + A->getName() + "' missing from storage";
+        Kernel = nullptr;
+        break;
+      }
+      Arrays.push_back(Buf->data());
     }
-    Arrays.push_back(Buf->data());
   }
+  if (!Kernel) {
+    ++NumJitFallbacks;
+    Info.FallbackReason = WhyNot;
+    if (OutInfo)
+      *OutInfo = Info;
+    exec::runOnStorage(LP, Store);
+    return;
+  }
+
   std::vector<double> Scalars;
   Scalars.reserve(Module.Scalars.size());
   for (const ScalarSymbol *S : Module.Scalars)
@@ -238,6 +304,12 @@ RunResult JitEngine::run(const LoopProgram &LP, uint64_t Seed,
   Info.UsedJit = true;
   if (OutInfo)
     *OutInfo = Info;
+}
+
+RunResult JitEngine::run(const LoopProgram &LP, uint64_t Seed,
+                         JitRunInfo *OutInfo) {
+  Storage Store = allocateStorage(LP, Seed);
+  runOnStorage(LP, Store, OutInfo);
   return collectResults(LP, Store);
 }
 

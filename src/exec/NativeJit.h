@@ -60,6 +60,13 @@ struct JitOptions {
   /// CPU-seconds budget for one compiler invocation; a runaway compile is
   /// killed and treated as a compile failure. 0 disables the limit.
   unsigned CompileTimeoutSec = 60;
+
+  /// Upper bound, in bytes, on the on-disk kernel cache (shared objects
+  /// plus their paired sources). After each install the oldest entries by
+  /// modification time are evicted until the directory fits; the entry
+  /// just installed is never evicted, and disk hits refresh an entry's
+  /// mtime so hot kernels survive. 0 disables the bound.
+  uint64_t MaxCacheBytes = 0;
 };
 
 /// What happened on one JitEngine::run call (for tests and reports).
@@ -88,6 +95,15 @@ public:
   /// observable semantics as exec::run on the same seed.
   RunResult run(const lir::LoopProgram &LP, uint64_t Seed,
                 JitRunInfo *Info = nullptr);
+
+  /// Executes \p LP natively against caller-provided storage, in place
+  /// (the JIT counterpart of exec::runOnStorage): the kernel's array
+  /// arguments are bound to \p Store's buffers and its scalar slots are
+  /// copied in and back out, so the runtime engine can re-run one cached
+  /// kernel against the live buffers of each flush. Falls back to the
+  /// interpreter on the same storage when the JIT ladder fails.
+  void runOnStorage(const lir::LoopProgram &LP, Storage &Store,
+                    JitRunInfo *Info = nullptr);
 
   /// The on-disk cache entry \p LP's kernel maps to under this engine's
   /// options (exists only after a successful compile). Tests use this to

@@ -183,13 +183,12 @@ std::string exec::describeSchedule(const LoopProgram &LP,
   return parallelismReport(Rows);
 }
 
-RunResult exec::runParallel(const LoopProgram &LP, uint64_t Seed,
-                            const ParallelOptions &Opts,
-                            const ParallelSchedule &Sched) {
+void exec::runParallelOnStorage(const LoopProgram &LP, Storage &Store,
+                                const ParallelOptions &Opts,
+                                const ParallelSchedule &Sched) {
   ALF_STATISTIC(NumParallelRuns, "parallel", "Parallel executor runs");
   ++NumParallelRuns;
 
-  Storage Store = allocateStorage(LP, Seed);
   EvalContext Ctx;
   Ctx.Store = &Store;
   Ctx.LP = &LP;
@@ -209,6 +208,13 @@ RunResult exec::runParallel(const LoopProgram &LP, uint64_t Seed,
       continue; // single address space: halo exchange is a no-op
     execOpaqueStmt(*cast<OpaqueOp>(N)->Src, Ctx);
   }
+}
+
+RunResult exec::runParallel(const LoopProgram &LP, uint64_t Seed,
+                            const ParallelOptions &Opts,
+                            const ParallelSchedule &Sched) {
+  Storage Store = allocateStorage(LP, Seed);
+  runParallelOnStorage(LP, Store, Opts, Sched);
   return collectResults(LP, Store);
 }
 

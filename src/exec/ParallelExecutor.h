@@ -80,6 +80,14 @@ RunResult runParallel(const lir::LoopProgram &LP, uint64_t Seed,
                       const ParallelOptions &Opts,
                       const ParallelSchedule &Sched);
 
+/// Executes \p LP under \p Sched against caller-provided storage, in
+/// place (the parallel counterpart of exec::runOnStorage). The runtime
+/// engine pairs this with a cached schedule so a warm flush pays no
+/// parallelism re-analysis.
+void runParallelOnStorage(const lir::LoopProgram &LP, Storage &Store,
+                          const ParallelOptions &Opts,
+                          const ParallelSchedule &Sched);
+
 /// Convenience: plan, then run.
 RunResult runParallel(const lir::LoopProgram &LP, uint64_t Seed,
                       const ParallelOptions &Opts = ParallelOptions());

@@ -1,0 +1,93 @@
+//===- runtime/Ex.cpp - Deferred expression builders ------------------------===//
+
+#include "runtime/Runtime.h"
+#include "runtime/Trace.h"
+
+#include <cassert>
+
+using namespace alf;
+using namespace alf::runtime;
+using namespace alf::runtime::detail;
+
+namespace {
+
+Ex unary(ir::UnaryExpr::Opcode Op, const Ex &E) {
+  auto N = std::make_shared<ExNode>(ExNode::K::Un);
+  N->UOp = Op;
+  N->A = E.node();
+  return Ex(std::move(N));
+}
+
+Ex binary(ir::BinaryExpr::Opcode Op, const Ex &L, const Ex &R) {
+  auto N = std::make_shared<ExNode>(ExNode::K::Bin);
+  N->BOp = Op;
+  N->A = L.node();
+  N->B = R.node();
+  return Ex(std::move(N));
+}
+
+} // namespace
+
+Ex::Ex(double C) {
+  auto Node = std::make_shared<ExNode>(ExNode::K::Const);
+  Node->C = C;
+  N = std::move(Node);
+}
+
+Ex::Ex(const Array &A) {
+  assert(A.valid() && "expression over an empty Array handle");
+  auto Node = std::make_shared<ExNode>(ExNode::K::Ref);
+  Node->Arr = A.St;
+  Node->Off = ir::Offset::zero(A.St->Domain.rank());
+  N = std::move(Node);
+}
+
+Ex::Ex(const Scalar &S) {
+  assert(S.valid() && "expression over an empty Scalar handle");
+  auto Node = std::make_shared<ExNode>(ExNode::K::Scalar);
+  Node->Sc = S.St;
+  N = std::move(Node);
+}
+
+Ex runtime::shift(const Array &A, ir::Offset Off) {
+  assert(A.valid() && "shift of an empty Array handle");
+  assert(Off.rank() == A.St->Domain.rank() && "shift rank mismatch");
+  auto Node = std::make_shared<ExNode>(ExNode::K::Ref);
+  Node->Arr = A.St;
+  Node->Off = std::move(Off);
+  return Ex(std::move(Node));
+}
+
+Ex runtime::operator+(const Ex &L, const Ex &R) {
+  return binary(ir::BinaryExpr::Opcode::Add, L, R);
+}
+Ex runtime::operator-(const Ex &L, const Ex &R) {
+  return binary(ir::BinaryExpr::Opcode::Sub, L, R);
+}
+Ex runtime::operator*(const Ex &L, const Ex &R) {
+  return binary(ir::BinaryExpr::Opcode::Mul, L, R);
+}
+Ex runtime::operator/(const Ex &L, const Ex &R) {
+  return binary(ir::BinaryExpr::Opcode::Div, L, R);
+}
+Ex runtime::emin(const Ex &L, const Ex &R) {
+  return binary(ir::BinaryExpr::Opcode::Min, L, R);
+}
+Ex runtime::emax(const Ex &L, const Ex &R) {
+  return binary(ir::BinaryExpr::Opcode::Max, L, R);
+}
+
+Ex runtime::operator-(const Ex &E) {
+  return unary(ir::UnaryExpr::Opcode::Neg, E);
+}
+Ex runtime::eabs(const Ex &E) { return unary(ir::UnaryExpr::Opcode::Abs, E); }
+Ex runtime::esqrt(const Ex &E) {
+  return unary(ir::UnaryExpr::Opcode::Sqrt, E);
+}
+Ex runtime::eexp(const Ex &E) { return unary(ir::UnaryExpr::Opcode::Exp, E); }
+Ex runtime::elog(const Ex &E) { return unary(ir::UnaryExpr::Opcode::Log, E); }
+Ex runtime::esin(const Ex &E) { return unary(ir::UnaryExpr::Opcode::Sin, E); }
+Ex runtime::ecos(const Ex &E) { return unary(ir::UnaryExpr::Opcode::Cos, E); }
+Ex runtime::recip(const Ex &E) {
+  return unary(ir::UnaryExpr::Opcode::Recip, E);
+}

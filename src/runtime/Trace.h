@@ -1,0 +1,132 @@
+//===- runtime/Trace.h - Trace representation internals --------*- C++ -*-===//
+//
+// Part of the ALF project: array-level fusion and contraction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal representation of a recorded trace. User-facing Ex trees hold
+/// shared handles; at record time they are lowered to slot-based TExpr
+/// trees so the trace references arrays by dense slot index. That makes
+/// two things cheap: liveness (the engine holds exactly one reference per
+/// slot, so use_count > 1 at flush time means a handle survives outside)
+/// and the structural cache key (slots, offsets and opcodes serialize to
+/// a string independent of buffer addresses, user names and constant
+/// values — constants live in per-trace value tables bound at execution).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALF_RUNTIME_TRACE_H
+#define ALF_RUNTIME_TRACE_H
+
+#include "ir/Expr.h"
+#include "ir/Offset.h"
+#include "ir/Region.h"
+#include "ir/Stmt.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace alf {
+namespace runtime {
+namespace detail {
+
+class EngineImpl;
+
+/// Shared state behind one Array handle. While traced (Slot >= 0) the
+/// value is a recipe; after a flush that classified it live-out, the
+/// value is materialized row-major over its footprint Bounds.
+struct ArrayState {
+  EngineImpl *E = nullptr;
+  std::string Name;
+  ir::Region Domain;
+  int Slot = -1; ///< slot in the engine's pending trace, -1 when none
+
+  bool Materialized = false;
+  ir::Region Bounds;        ///< bounds of Data once materialized
+  std::vector<double> Data; ///< row-major over Bounds
+
+  /// Value at absolute coordinates; 0 outside Bounds or before any
+  /// materialization (zero-halo semantics).
+  double load(const std::vector<int64_t> &At) const;
+
+  /// Stores at absolute coordinates; \p At must lie inside Bounds.
+  void store(const std::vector<int64_t> &At, double V);
+
+  /// Row-major linear index of \p At in Data, or -1 outside Bounds.
+  int64_t linearIndex(const std::vector<int64_t> &At) const;
+};
+
+/// Shared state behind one Scalar handle.
+struct ScalarState {
+  EngineImpl *E = nullptr;
+  double Value = 0.0;
+  bool Pending = false; ///< produced by a reduce still in the trace
+  int ReduceSlot = -1;  ///< index among the pending trace's reductions
+};
+
+/// One node of a user-built deferred expression.
+struct ExNode {
+  enum class K { Const, Scalar, Ref, Un, Bin };
+
+  K Kind;
+  double C = 0.0;
+  std::shared_ptr<ScalarState> Sc;
+  std::shared_ptr<ArrayState> Arr;
+  ir::Offset Off;
+  ir::UnaryExpr::Opcode UOp = ir::UnaryExpr::Opcode::Neg;
+  ir::BinaryExpr::Opcode BOp = ir::BinaryExpr::Opcode::Add;
+  std::shared_ptr<ExNode> A, B;
+
+  explicit ExNode(K Kind) : Kind(Kind) {}
+};
+
+/// A lowered (slot-based) trace expression. Constants and already-known
+/// scalars are references into the trace's value tables, so structurally
+/// equal traces with different values serialize to the same cache key.
+struct TExpr {
+  enum class K { ConstSlot, InputSlot, ReduceSlot, Ref, Un, Bin };
+
+  K Kind;
+  unsigned Slot = 0; ///< table index (ConstSlot/InputSlot/ReduceSlot) or
+                     ///< array slot (Ref)
+  ir::Offset Off;    ///< Ref only
+  ir::UnaryExpr::Opcode UOp = ir::UnaryExpr::Opcode::Neg;
+  ir::BinaryExpr::Opcode BOp = ir::BinaryExpr::Opcode::Add;
+  std::unique_ptr<TExpr> A, B;
+
+  explicit TExpr(K Kind) : Kind(Kind) {}
+};
+
+/// One array slot of the pending trace. The engine's State reference is
+/// deliberately the only one it holds, so `State.use_count() > 1` at
+/// flush time is exactly "a handle (or an Ex) survives outside".
+struct ArraySlot {
+  std::shared_ptr<ArrayState> State;
+  bool LiveIn = false;   ///< carried a materialized value into the trace
+  bool Written = false;  ///< some trace statement assigns to this slot
+  bool External = false; ///< computed at flush from handle liveness
+};
+
+/// One recorded normal-form statement.
+struct TraceStmt {
+  enum class K { Assign, Update, Reduce };
+
+  K Kind;
+  unsigned Lhs = 0; ///< array slot (Assign/Update), reduce slot (Reduce)
+  ir::Offset LhsOff;
+  ir::Region R;
+  ir::ReduceStmt::ReduceOpKind Op = ir::ReduceStmt::ReduceOpKind::Sum;
+  std::unique_ptr<TExpr> Rhs;
+};
+
+/// Serializes \p T structurally ("a3@(0,-1)", "c2", "b0(...)").
+void serializeTExpr(const TExpr &T, std::string &Out);
+
+} // namespace detail
+} // namespace runtime
+} // namespace alf
+
+#endif // ALF_RUNTIME_TRACE_H

@@ -242,6 +242,27 @@ region R : [1..9];
   EXPECT_NE(Result.Errors[0].find("already declared"), std::string::npos);
 }
 
+TEST(ParserTest, ErrorsCarryLineAndColumnPositions) {
+  // The zplc driver prepends the file name to form "file:line:col: error:
+  // message" diagnostics, so every parser error must start with a
+  // machine-readable "line:col: " position.
+  ParseResult Result = parseProgram(R"(
+region R : [1..8];
+array A : R;
+[R] A := A +* 2;
+)");
+  EXPECT_FALSE(Result.succeeded());
+  ASSERT_FALSE(Result.Errors.empty());
+  const std::string &E = Result.Errors[0];
+  size_t C1 = E.find(':');
+  ASSERT_NE(C1, std::string::npos) << E;
+  size_t C2 = E.find(": ", C1 + 1);
+  ASSERT_NE(C2, std::string::npos) << E;
+  EXPECT_EQ(E.substr(0, C1), "4") << E; // the bad token's line
+  for (size_t I = C1 + 1; I < C2; ++I)
+    EXPECT_TRUE(isdigit(E[I])) << E;
+}
+
 TEST(ParserTest, RecoversAndReportsMultipleErrors) {
   ParseResult Result = parseProgram(R"(
 region R : [1..8];

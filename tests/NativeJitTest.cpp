@@ -20,9 +20,11 @@
 #include "TestPrograms.h"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <gtest/gtest.h>
+#include <thread>
 #include <unistd.h>
 
 using namespace alf;
@@ -196,6 +198,124 @@ TEST(NativeJitTest, BadFlagsCountAsCompileFailure) {
             FailuresBefore + 1);
   std::string Why;
   EXPECT_TRUE(resultsMatch(run(LP, 13), Res, 0.0, &Why)) << Why;
+}
+
+TEST(NativeJitTest, SizeBoundEvictsOldestKeepsNewest) {
+  if (!HaveCompiler)
+    GTEST_SKIP() << "no usable system C compiler";
+  TempCacheDir Cache;
+  JitOptions Opts;
+  Opts.CacheDir = Cache.Path;
+
+  auto PA = tp::makeFigure2();
+  auto LPA = makeLoopProgram(*PA, Strategy::Baseline);
+  auto PB = tp::makeUserTempPair();
+  auto LPB = makeLoopProgram(*PB, Strategy::C2);
+
+  // With no bound, both kernels stay on disk.
+  std::string SoA, SoB;
+  {
+    JitEngine Engine(Opts);
+    JitRunInfo Info;
+    Engine.run(LPA, 3, &Info);
+    ASSERT_TRUE(Info.UsedJit) << Info.FallbackReason;
+    SoA = Info.SoPath;
+    Engine.run(LPB, 3, &Info);
+    ASSERT_TRUE(Info.UsedJit) << Info.FallbackReason;
+    SoB = Info.SoPath;
+  }
+  ASSERT_NE(SoA, SoB);
+  EXPECT_TRUE(std::filesystem::exists(SoA));
+  EXPECT_TRUE(std::filesystem::exists(SoB));
+
+  // A bound too small for even one kernel still keeps the entry just
+  // installed: evicting the kernel we are about to run would thrash.
+  Opts.MaxCacheBytes = 1;
+  uint64_t EvictBefore = getStatisticValue("jit", "NumJitCacheEvictions");
+  JitEngine Bounded(Opts);
+  auto PC = tp::makeTomcatvFragment();
+  auto LPC = makeLoopProgram(*PC, Strategy::C2F3);
+  JitRunInfo Info;
+  Bounded.run(LPC, 3, &Info);
+  ASSERT_TRUE(Info.UsedJit) << Info.FallbackReason;
+  ASSERT_TRUE(Info.Compiled);
+  EXPECT_TRUE(std::filesystem::exists(Info.SoPath));
+  EXPECT_FALSE(std::filesystem::exists(SoA)); // both older entries evicted
+  EXPECT_FALSE(std::filesystem::exists(SoB));
+  EXPECT_EQ(getStatisticValue("jit", "NumJitCacheEvictions"),
+            EvictBefore + 2);
+}
+
+TEST(NativeJitTest, DiskHitRefreshesRecencyForEviction) {
+  if (!HaveCompiler)
+    GTEST_SKIP() << "no usable system C compiler";
+  TempCacheDir Cache;
+  JitOptions Opts;
+  Opts.CacheDir = Cache.Path;
+
+  auto PA = tp::makeFigure2();
+  auto LPA = makeLoopProgram(*PA, Strategy::Baseline);
+  auto PB = tp::makeUserTempPair();
+  auto LPB = makeLoopProgram(*PB, Strategy::C2);
+
+  auto PC = tp::makeTomcatvFragment();
+  auto LPC = makeLoopProgram(*PC, Strategy::C2F3);
+
+  // An entry is the .so plus its retained .c source.
+  auto pairBytes = [](const std::string &So) {
+    uint64_t N = std::filesystem::file_size(So);
+    std::filesystem::path C = std::filesystem::path(So).replace_extension(".c");
+    std::error_code EC;
+    uint64_t CN = std::filesystem::file_size(C, EC);
+    return EC ? N : N + CN;
+  };
+
+  std::string SoA, SoB, SoC;
+  uint64_t BytesA, BytesC;
+  {
+    JitEngine Engine(Opts);
+    JitRunInfo Info;
+    Engine.run(LPA, 3, &Info);
+    ASSERT_TRUE(Info.UsedJit) << Info.FallbackReason;
+    SoA = Info.SoPath;
+    BytesA = pairBytes(SoA);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    Engine.run(LPB, 3, &Info);
+    ASSERT_TRUE(Info.UsedJit) << Info.FallbackReason;
+    SoB = Info.SoPath;
+    // Compile C once just to learn its on-disk size, then drop it so the
+    // bounded engine below re-installs it.
+    Engine.run(LPC, 3, &Info);
+    ASSERT_TRUE(Info.UsedJit) << Info.FallbackReason;
+    SoC = Info.SoPath;
+    BytesC = pairBytes(SoC);
+    std::filesystem::remove(SoC);
+    std::filesystem::remove(
+        std::filesystem::path(SoC).replace_extension(".c"));
+  }
+
+  // Touch A from a fresh engine (a disk hit): A becomes more recently
+  // used than B even though it was installed earlier.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  {
+    JitEngine Engine(Opts);
+    JitRunInfo Info;
+    Engine.run(LPA, 4, &Info);
+    ASSERT_TRUE(Info.CacheHitDisk) << Info.FallbackReason;
+  }
+
+  // Budget fits A and C but not B as well: installing C must evict
+  // exactly one entry, and LRU order says that is B.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  Opts.MaxCacheBytes = BytesA + BytesC;
+  JitEngine Bounded(Opts);
+  JitRunInfo Info;
+  Bounded.run(LPC, 3, &Info);
+  ASSERT_TRUE(Info.UsedJit) << Info.FallbackReason;
+  ASSERT_TRUE(Info.Compiled);
+  EXPECT_TRUE(std::filesystem::exists(SoA));  // recently used: survives
+  EXPECT_FALSE(std::filesystem::exists(SoB)); // LRU: evicted
+  EXPECT_TRUE(std::filesystem::exists(Info.SoPath));
 }
 
 TEST(NativeJitTest, ExecModeDispatchesToJit) {

@@ -11,16 +11,21 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "exec/Eval.h"
 #include "exec/Interpreter.h"
 #include "exec/NativeJit.h"
 #include "exec/ParallelExecutor.h"
 #include "ir/Generator.h"
 #include "ir/Normalize.h"
 #include "ir/Verifier.h"
+#include "runtime/Runtime.h"
 #include "scalarize/Scalarize.h"
 #include "xform/Strategy.h"
 
+#include <filesystem>
 #include <gtest/gtest.h>
+#include <map>
+#include <unistd.h>
 
 using namespace alf;
 using namespace alf::analysis;
@@ -127,6 +132,175 @@ TEST_P(StressSweepTest, NativeJitAgrees) {
     ASSERT_TRUE(resultsMatch(BaseRes, JitRes, 0.0, &Why))
         << getStrategyName(S) << " jit diverged: " << Why << "\n"
         << P->str();
+  }
+}
+
+/// Rebuilds an IR right-hand side as a runtime expression over the given
+/// handles. The generator emits exactly the normal-form node kinds the
+/// runtime API can express.
+runtime::Ex toRuntimeEx(const Expr *E,
+                        const std::map<std::string, runtime::Array> &H) {
+  switch (E->getKind()) {
+  case Expr::ExprKind::Const:
+    return runtime::Ex(cast<ConstExpr>(E)->getValue());
+  case Expr::ExprKind::ArrayRef: {
+    const auto *A = cast<ArrayRefExpr>(E);
+    return runtime::shift(H.at(A->getSymbol()->getName()), A->getOffset());
+  }
+  case Expr::ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    runtime::Ex Op = toRuntimeEx(U->getOperand(), H);
+    switch (U->getOpcode()) {
+    case UnaryExpr::Opcode::Neg:
+      return -Op;
+    case UnaryExpr::Opcode::Abs:
+      return runtime::eabs(Op);
+    case UnaryExpr::Opcode::Sqrt:
+      return runtime::esqrt(Op);
+    case UnaryExpr::Opcode::Exp:
+      return runtime::eexp(Op);
+    case UnaryExpr::Opcode::Log:
+      return runtime::elog(Op);
+    case UnaryExpr::Opcode::Sin:
+      return runtime::esin(Op);
+    case UnaryExpr::Opcode::Cos:
+      return runtime::ecos(Op);
+    case UnaryExpr::Opcode::Recip:
+      return runtime::recip(Op);
+    }
+    break;
+  }
+  case Expr::ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    runtime::Ex L = toRuntimeEx(B->getLHS(), H);
+    runtime::Ex R = toRuntimeEx(B->getRHS(), H);
+    switch (B->getOpcode()) {
+    case BinaryExpr::Opcode::Add:
+      return L + R;
+    case BinaryExpr::Opcode::Sub:
+      return L - R;
+    case BinaryExpr::Opcode::Mul:
+      return L * R;
+    case BinaryExpr::Opcode::Div:
+      return L / R;
+    case BinaryExpr::Opcode::Min:
+      return runtime::emin(L, R);
+    case BinaryExpr::Opcode::Max:
+      return runtime::emax(L, R);
+    }
+    break;
+  }
+  case Expr::ExprKind::ScalarRef:
+    break;
+  }
+  ADD_FAILURE() << "unexpected expression kind in generated program";
+  return runtime::Ex(0.0);
+}
+
+// The same generated programs replayed through the deferred-evaluation
+// engine: inputs seeded exactly as the eager run seeds them, every
+// statement recorded via Engine::update, live-out values compared
+// bit-exactly against the eager baseline — across flush policies
+// (per-statement cap, small cap, explicit-only), execution modes, with
+// the trace cache cold (first replay) and warm (second replay through
+// the same engine, which must add no cache misses).
+TEST_P(StressSweepTest, RuntimeEngineAgrees) {
+  uint64_t Seed = GetParam();
+  GeneratorConfig Cfg = sweepConfig(Seed);
+  Cfg.AddOpaque = false; // the runtime records normal-form statements only
+
+  // Eager oracle.
+  auto NP = generateRandomProgram(Cfg);
+  normalizeProgram(*NP);
+  ASDG G = ASDG::build(*NP);
+  uint64_t RunSeed = Seed ^ 0xfeed;
+  auto Base = scalarize::scalarizeWithStrategy(G, Strategy::Baseline);
+  RunResult BaseRes = run(Base, RunSeed);
+
+  // The exact storage the eager run started from: footprint bounds and
+  // seeded live-in contents, keyed by array name.
+  Storage Init = allocateStorage(Base, RunSeed);
+  std::map<std::string, const ArrayBuffer *> InitBuf;
+  for (const ArraySymbol *A : Base.source().arrays())
+    if (const ArrayBuffer *Buf = Init.buffer(A))
+      InitBuf.emplace(A->getName(), Buf);
+
+  // Pristine (pre-normalization) copy to replay statement by statement;
+  // the engine's own pipeline re-derives the normalization.
+  auto P = generateRandomProgram(Cfg);
+
+  struct Policy {
+    unsigned MaxTraceLen;
+    ExecMode Mode;
+    bool TraceCache;
+  };
+  std::vector<Policy> Policies = {
+      {1, ExecMode::Sequential, true},   // flush per statement
+      {3, ExecMode::Sequential, true},   // short batches
+      {0, ExecMode::Sequential, false},  // one whole-program flush, no cache
+      {0, ExecMode::Parallel, true},
+  };
+  // A few seeds also run through the native JIT so the sweep covers the
+  // kernel path without compiling hundreds of kernels.
+  if (Seed % 10 == 0 && JitEngine::compilerAvailable())
+    Policies.push_back({0, ExecMode::NativeJit, true});
+
+  for (const Policy &PC : Policies) {
+    runtime::EngineOptions O;
+    O.MaxTraceLen = PC.MaxTraceLen;
+    O.Mode = PC.Mode;
+    O.TraceCache = PC.TraceCache;
+    O.Parallel.NumThreads = 1 + static_cast<unsigned>(Seed % 4);
+    if (PC.Mode == ExecMode::NativeJit)
+      O.Jit.CacheDir = (std::filesystem::temp_directory_path() /
+                        ("alf-sweep-jit-" + std::to_string(getpid())))
+                           .string();
+    runtime::Engine E(O);
+    uint64_t MissesAfterCold = 0;
+
+    for (int Pass = 0; Pass < 2; ++Pass) {
+      std::map<std::string, runtime::Array> H;
+      for (const ArraySymbol *A : P->arrays()) {
+        auto It = InitBuf.find(A->getName());
+        if (It == InitBuf.end())
+          continue; // never referenced by any statement
+        runtime::Array RA = E.input(A->getName(), It->second->bounds());
+        if (A->isLiveIn())
+          RA.setAll(It->second->raw());
+        H.emplace(A->getName(), std::move(RA));
+      }
+
+      for (const Stmt *S : P->stmts()) {
+        const auto *NS = dyn_cast<NormalizedStmt>(S);
+        ASSERT_NE(NS, nullptr);
+        E.update(H.at(NS->getLHS()->getName()), NS->getLHSOffset(),
+                 *NS->getRegion(), toRuntimeEx(NS->getRHS(), H));
+      }
+      E.flush();
+
+      for (const auto &[Name, Expect] : BaseRes.LiveOut) {
+        auto It = H.find(Name);
+        if (It == H.end())
+          continue; // live-out array never referenced: all zero both ways
+        std::vector<double> Got = It->second.values();
+        ASSERT_EQ(Got.size(), Expect.size()) << Name;
+        for (size_t I = 0; I < Got.size(); ++I)
+          ASSERT_EQ(Got[I], Expect[I])
+              << Name << "[" << I << "] diverged (pass " << Pass
+              << ", cap=" << PC.MaxTraceLen
+              << ", mode=" << getExecModeName(PC.Mode) << ")\n"
+              << P->str();
+      }
+
+      if (Pass == 0)
+        MissesAfterCold = E.stats().CacheMisses;
+      else if (PC.TraceCache)
+        // The warm replay is structurally identical: every flush must be
+        // served by the trace cache.
+        EXPECT_EQ(E.stats().CacheMisses, MissesAfterCold)
+            << "warm replay re-analyzed a trace (cap=" << PC.MaxTraceLen
+            << ")";
+    }
   }
 }
 
