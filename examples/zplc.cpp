@@ -7,12 +7,21 @@
 //
 // Usage:  ./zplc [file.zpl] [--strategy=c2|baseline|c1|f1|f2|f3|c2+f3|c2+f4]
 //                [--dump-asdg] [--dump-source] [--emit-c] [--emit-f77]
-//                [--explain] [--stats] [--simulate]
+//                [--explain] [--stats] [--simulate] [--lint]
 //                [--exec=sequential|parallel|jit] [--seed=S]
+//                [--verify=off|structural|full]
 //
 // --exec runs the compiled program and prints its live-out scalars and
 // array checksums; `--exec=jit` compiles the kernels natively with the
 // system compiler (falling back to the interpreter when there is none).
+//
+// --lint reports frontend diagnostics (uninitialized reads, dead
+// statements, rank mismatches) as `file:line:col: severity: message` and
+// exits 1 when any error-severity diagnostic fired; nothing is compiled.
+//
+// --verify selects the translation-validation level (default full for the
+// tool): each analysis product is re-proved as it is built, and a failed
+// proof prints one `zplc: verification failed: ...` line and exits 1.
 //
 //===----------------------------------------------------------------------===//
 
@@ -28,6 +37,8 @@
 #include "scalarize/Scalarize.h"
 #include "support/Statistic.h"
 #include "support/StringUtil.h"
+#include "verify/Lint.h"
+#include "verify/Verify.h"
 #include "xform/Report.h"
 #include "xform/Strategy.h"
 
@@ -68,9 +79,10 @@ int main(int argc, char **argv) {
   xform::Strategy Strat = xform::Strategy::C2;
   bool DumpASDG = false, DumpSource = false, EmitC = false,
        EmitF77 = false, Explain = false, Stats = false,
-       Simulate = false;
+       Simulate = false, Lint = false;
   std::optional<xform::ExecMode> Exec;
   uint64_t Seed = 1;
+  verify::VerifyLevel VerifyLevel = verify::VerifyLevel::Full;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -109,6 +121,20 @@ int main(int argc, char **argv) {
     }
     if (Arg == "--simulate") {
       Simulate = true;
+      continue;
+    }
+    if (Arg == "--lint") {
+      Lint = true;
+      continue;
+    }
+    if (Arg.rfind("--verify=", 0) == 0) {
+      auto L = verify::verifyLevelNamed(Arg.substr(9));
+      if (!L) {
+        std::cerr << "zplc: unknown verification level '" << Arg.substr(9)
+                  << "'\n";
+        return 1;
+      }
+      VerifyLevel = *L;
       continue;
     }
     if (Arg.rfind("--exec=", 0) == 0) {
@@ -151,6 +177,14 @@ int main(int argc, char **argv) {
   }
   ir::Program &P = *Result.Prog;
 
+  if (Lint) {
+    // Lint looks at the program exactly as written (pre-normalization,
+    // pre-alignment) so positions and names match the source.
+    verify::LintResult LR = verify::lintProgram(P, Result.StmtPositions);
+    std::cout << LR.render(FileName);
+    return LR.exitCode();
+  }
+
   ir::alignProgram(P);
   unsigned Temps = ir::normalizeProgram(P);
   auto Errors = ir::verifyProgram(P);
@@ -168,13 +202,29 @@ int main(int argc, char **argv) {
     std::cout << '\n';
   }
 
+  // A failed proof prints one line and exits nonzero so scripts and CI
+  // can gate on the tool's exit status.
+  auto CheckVerified = [&](verify::VerifyReport R) {
+    if (R.ok())
+      return;
+    std::cerr << "zplc: verification failed: " << R.Findings.front().str()
+              << '\n';
+    std::exit(1);
+  };
+
   analysis::ASDG G = analysis::ASDG::build(P);
+  if (VerifyLevel >= verify::VerifyLevel::Structural)
+    CheckVerified(verify::verifyStructure(P, &G));
+  if (VerifyLevel >= verify::VerifyLevel::Full)
+    CheckVerified(verify::verifyDependences(G));
   if (DumpASDG) {
     G.print(std::cout);
     std::cout << '\n';
   }
 
   xform::StrategyResult SR = xform::applyStrategy(G, Strat);
+  if (VerifyLevel >= verify::VerifyLevel::Full)
+    CheckVerified(verify::verifyStrategy(G, SR));
   std::cout << "// strategy " << xform::getStrategyName(Strat) << ": "
             << SR.Partition.numClusters() << " loop nests, "
             << SR.Contracted.size() << " arrays contracted";
@@ -216,7 +266,16 @@ int main(int argc, char **argv) {
     }
   }
   if (Exec) {
-    exec::RunResult Res = exec::runWithMode(LP, Seed, *Exec);
+    exec::RunResult Res;
+    if (*Exec == xform::ExecMode::Parallel) {
+      // Plan explicitly so the schedule run is the schedule certified.
+      exec::ParallelSchedule Sched = exec::planParallelism(LP);
+      if (VerifyLevel >= verify::VerifyLevel::Full)
+        CheckVerified(verify::verifyParallelSafety(LP, Sched));
+      Res = exec::runParallel(LP, Seed, exec::ParallelOptions(), Sched);
+    } else {
+      Res = exec::runWithMode(LP, Seed, *Exec);
+    }
     std::cout << "\n// executed (" << xform::getExecModeName(*Exec)
               << ", seed " << Seed << "):\n";
     for (const auto &[Name, Value] : Res.ScalarsOut)

@@ -83,6 +83,31 @@ ASDG ASDG::build(const ir::Program &Prog) {
   return G;
 }
 
+void ASDG::dropEdgeForTest(unsigned EdgeId) {
+  if (EdgeId >= Edges.size())
+    return;
+  Edges.erase(Edges.begin() + EdgeId);
+  for (auto *Index : {&OutEdgeIds, &InEdgeIds})
+    for (std::vector<unsigned> &Ids : *Index) {
+      std::vector<unsigned> Kept;
+      for (unsigned Id : Ids) {
+        if (Id == EdgeId)
+          continue;
+        Kept.push_back(Id > EdgeId ? Id - 1 : Id);
+      }
+      Ids = std::move(Kept);
+    }
+}
+
+void ASDG::injectEdgeForTest(DepEdge E) {
+  unsigned EdgeId = static_cast<unsigned>(Edges.size());
+  if (E.Src < OutEdgeIds.size())
+    OutEdgeIds[E.Src].push_back(EdgeId);
+  if (E.Tgt < InEdgeIds.size())
+    InEdgeIds[E.Tgt].push_back(EdgeId);
+  Edges.push_back(std::move(E));
+}
+
 const std::vector<unsigned> &
 ASDG::statementsReferencing(const ir::Symbol *Var) const {
   static const std::vector<unsigned> Empty;

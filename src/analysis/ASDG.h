@@ -113,6 +113,15 @@ public:
   /// authoritative for legality; the reduction is for presentation.
   std::vector<unsigned> transitiveReductionEdges() const;
 
+  /// Testing hook for the verification layer: removes edge \p EdgeId,
+  /// simulating a dependence the analysis failed to record. Injected-bug
+  /// tests use this to prove the dependence oracle (and not an output
+  /// diff) catches the corruption. Never called by the pipeline.
+  void dropEdgeForTest(unsigned EdgeId);
+
+  /// Testing hook: appends a fabricated edge (a spurious dependence).
+  void injectEdgeForTest(DepEdge E);
+
   /// Writes a readable edge listing.
   void print(std::ostream &OS) const;
 

@@ -5,11 +5,16 @@
 #include "comm/CommInsertion.h"
 #include "ir/Normalize.h"
 #include "scalarize/Scalarize.h"
+#include "support/ErrorHandling.h"
+#include "support/Statistic.h"
 
 using namespace alf;
 using namespace alf::driver;
 using namespace alf::exec;
 using namespace alf::xform;
+
+ALF_STATISTIC(NumPipelineVerifyFailures, "verify",
+              "Pipeline stages rejected by a verification pass");
 
 Pipeline::Pipeline(ir::Program &P, PipelineOptions InOpts)
     : P(P), Opts(std::move(InOpts)) {}
@@ -26,6 +31,24 @@ void Pipeline::prepare() {
     comm::insertArrayLevelComm(P, Opts.PipelinedComm);
 }
 
+void Pipeline::check(verify::VerifyReport R) {
+  if (R.ok())
+    return;
+  ++NumPipelineVerifyFailures;
+  for (const verify::VerifyFinding &F : R.Findings)
+    Findings.Findings.push_back(F);
+  if (Opts.OnVerifyError) {
+    Opts.OnVerifyError(R);
+    return;
+  }
+  // No policy installed: a failed proof means the pipeline is about to
+  // produce wrong code, which the library's no-throw error policy treats
+  // as fatal.
+  std::string Msg =
+      "translation validation failed: " + R.Findings.front().str();
+  reportFatalError(Msg.c_str());
+}
+
 ir::Program &Pipeline::program() {
   prepare();
   return P;
@@ -35,19 +58,25 @@ const analysis::ASDG &Pipeline::asdg() {
   if (!G) {
     prepare();
     G = analysis::ASDG::build(P);
+    if (Opts.Verify >= verify::VerifyLevel::Structural)
+      check(verify::verifyStructure(P, &*G));
+    if (Opts.Verify >= verify::VerifyLevel::Full)
+      check(verify::verifyDependences(*G));
   }
   return *G;
 }
 
 StrategyResult Pipeline::strategy(Strategy S) {
-  return applyStrategy(asdg(), S);
+  StrategyResult SR = applyStrategy(asdg(), S);
+  if (Opts.Verify >= verify::VerifyLevel::Full)
+    check(verify::verifyStrategy(*G, SR));
+  return SR;
 }
 
 lir::LoopProgram Pipeline::scalarize(Strategy S) {
-  lir::LoopProgram LP = alf::scalarize::scalarizeWithStrategy(asdg(), S);
-  if (Opts.Comm == CommPolicy::LoopLevel)
-    comm::insertLoopLevelComm(LP);
-  return LP;
+  // Route through strategy() so the strategy result is verified before
+  // scalarization consumes it.
+  return scalarize(strategy(S));
 }
 
 lir::LoopProgram Pipeline::scalarize(const StrategyResult &SR) {
@@ -71,6 +100,14 @@ RunResult Pipeline::run(const lir::LoopProgram &LP, ExecMode Mode,
                         uint64_t Seed, JitRunInfo *JitInfo) {
   if (Mode == ExecMode::NativeJit)
     return jit().run(LP, Seed, JitInfo);
+  if (Mode == ExecMode::Parallel) {
+    // Plan explicitly so the schedule actually executed is the schedule
+    // the race detector certified.
+    ParallelSchedule Sched = planParallelism(LP);
+    if (Opts.Verify >= verify::VerifyLevel::Full)
+      check(verify::verifyParallelSafety(LP, Sched));
+    return runParallel(LP, Seed, Opts.Parallel, Sched);
+  }
   return runWithMode(LP, Seed, Mode, Opts.Parallel);
 }
 

@@ -32,8 +32,10 @@
 #include "exec/ParallelExecutor.h"
 #include "ir/Program.h"
 #include "scalarize/LoopIR.h"
+#include "verify/Verify.h"
 #include "xform/Strategy.h"
 
+#include <functional>
 #include <memory>
 #include <optional>
 
@@ -65,6 +67,20 @@ struct PipelineOptions {
 
   /// Compiler, flags and cache directory for ExecMode::NativeJit.
   exec::JitOptions Jit;
+
+  /// How much translation validation the pipeline performs as it works:
+  /// Structural re-checks the IR and graph after every ASDG build; Full
+  /// additionally diffs the dependence oracle, re-proves every strategy
+  /// result against Definitions 5 and 6, and race-checks every parallel
+  /// schedule before running it. Defaults to the ALF_VERIFY environment
+  /// variable (ctest exports "full"), else Structural.
+  verify::VerifyLevel Verify = verify::defaultVerifyLevel();
+
+  /// Called with the findings when a verification pass rejects. When
+  /// unset, the pipeline treats a rejection as a fatal internal error
+  /// (reportFatalError). Tools install an exit-nonzero handler; tests
+  /// install a collector.
+  std::function<void(const verify::VerifyReport &)> OnVerifyError;
 };
 
 /// One strategy's full compilation artifact, movable so callers can cache
@@ -133,6 +149,11 @@ public:
 
   const PipelineOptions &options() const { return Opts; }
 
+  /// Every verification finding accumulated so far (across all levels
+  /// and strategies served by this pipeline); empty when everything the
+  /// pipeline produced was certified.
+  const verify::VerifyReport &verifyFindings() const { return Findings; }
+
   /// One-shot convenience: Pipeline(P, Opts).run(S, Mode, Seed).
   static exec::RunResult runProgram(ir::Program &P, xform::Strategy S,
                                     xform::ExecMode Mode,
@@ -143,11 +164,16 @@ public:
 private:
   void prepare();
 
+  /// Runs the failure policy on \p R's findings (if any) and accumulates
+  /// them into Findings.
+  void check(verify::VerifyReport R);
+
   ir::Program &P;
   PipelineOptions Opts;
   bool Prepared = false;
   std::optional<analysis::ASDG> G;
   std::unique_ptr<exec::JitEngine> Jit;
+  verify::VerifyReport Findings;
 };
 
 } // namespace driver

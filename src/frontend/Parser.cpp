@@ -18,15 +18,17 @@ class Parser {
   size_t Pos = 0;
   std::unique_ptr<Program> Prog;
   std::vector<std::string> &Errors;
+  std::vector<std::pair<unsigned, unsigned>> &StmtPositions;
   std::map<std::string, const Region *> Regions;
   std::map<std::string, unsigned> RegionRanks;
   std::map<std::string, Offset> Directions;
 
 public:
   Parser(const std::string &Source, const std::string &Name,
-         std::vector<std::string> &Errors)
+         std::vector<std::string> &Errors,
+         std::vector<std::pair<unsigned, unsigned>> &StmtPositions)
       : Tokens(tokenize(Source)), Prog(std::make_unique<Program>(Name)),
-        Errors(Errors) {}
+        Errors(Errors), StmtPositions(StmtPositions) {}
 
   std::unique_ptr<Program> run() {
     while (!at(TokenKind::Eof)) {
@@ -413,6 +415,7 @@ private:
   //===------------------------------------------------------------------===//
 
   void parseStmt() {
+    unsigned StmtLine = peek().Line, StmtCol = peek().Col;
     advance(); // '['
     std::string RegionName = peek().Text;
     if (!expect(TokenKind::Ident, "region name"))
@@ -473,6 +476,7 @@ private:
       if (!expect(TokenKind::Semi, "';'"))
         return syncToSemi();
       Prog->reduce(RIt->second, Acc, *RedOp, std::move(Body));
+      StmtPositions.push_back({StmtLine, StmtCol});
       return;
     }
 
@@ -496,6 +500,7 @@ private:
     if (!HasLHSOffset)
       LHSOff = Offset::zero(Arr->getRank());
     Prog->assign(RIt->second, Arr, std::move(LHSOff), std::move(RHS));
+    StmtPositions.push_back({StmtLine, StmtCol});
   }
 };
 
@@ -504,7 +509,7 @@ private:
 ParseResult frontend::parseProgram(const std::string &Source,
                                    const std::string &Name) {
   ParseResult Result;
-  Parser P(Source, Name, Result.Errors);
+  Parser P(Source, Name, Result.Errors, Result.StmtPositions);
   Result.Prog = P.run();
   return Result;
 }

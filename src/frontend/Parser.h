@@ -42,6 +42,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace alf {
@@ -52,6 +53,11 @@ namespace frontend {
 struct ParseResult {
   std::unique_ptr<ir::Program> Prog;
   std::vector<std::string> Errors;
+
+  /// (line, col) of each statement's opening '[', indexed by statement id
+  /// (aligned with Prog->getStmt). Lint diagnostics use these to point at
+  /// source positions.
+  std::vector<std::pair<unsigned, unsigned>> StmtPositions;
 
   bool succeeded() const { return Prog != nullptr; }
 };

@@ -10,6 +10,7 @@
 #include "exec/ParallelExecutor.h"
 #include "exec/Storage.h"
 #include "runtime/Trace.h"
+#include "support/ErrorHandling.h"
 #include "support/Statistic.h"
 #include "support/StringUtil.h"
 
@@ -354,6 +355,7 @@ std::unique_ptr<EngineImpl::CacheEntry> EngineImpl::buildEntry() {
   driver::PipelineOptions PO;
   PO.Parallel = Opts.Parallel;
   PO.Jit = Opts.Jit;
+  PO.Verify = Opts.Verify;
   driver::Pipeline PL(*E->P, PO);
   E->CP.emplace(PL.compile(Opts.Strat));
   // Footprints after normalization (prepare() ran inside compile), so the
@@ -488,8 +490,18 @@ void EngineImpl::execute(CacheEntry &E, FlushInfo &Info) {
     exec::runOnStorage(LP, Store);
     break;
   case xform::ExecMode::Parallel:
-    if (!E.Sched)
+    if (!E.Sched) {
       E.Sched = exec::planParallelism(LP);
+      // The pipeline only race-checks schedules it plans itself; the
+      // engine plans lazily per cache entry, so certify here.
+      if (Opts.Verify >= verify::VerifyLevel::Full) {
+        verify::VerifyReport R = verify::verifyParallelSafety(LP, *E.Sched);
+        if (!R.ok())
+          reportFatalError(("translation validation failed: " +
+                            R.Findings.front().str())
+                               .c_str());
+      }
+    }
     exec::runParallelOnStorage(LP, Store, Opts.Parallel, *E.Sched);
     break;
   case xform::ExecMode::NativeJit: {

@@ -40,6 +40,7 @@
 #include "ir/Offset.h"
 #include "ir/Region.h"
 #include "ir/Stmt.h"
+#include "verify/Verify.h"
 #include "xform/Strategy.h"
 
 #include <cstdint>
@@ -212,6 +213,11 @@ struct EngineOptions {
 
   exec::ParallelOptions Parallel; ///< ExecMode::Parallel knobs
   exec::JitOptions Jit;           ///< ExecMode::NativeJit knobs
+
+  /// Translation-validation level applied to every flush's pipeline (see
+  /// verify::VerifyLevel). Cached traces were verified when first
+  /// compiled; re-executions do not re-verify.
+  verify::VerifyLevel Verify = verify::defaultVerifyLevel();
 };
 
 /// A deferred-evaluation engine: records array statements into a trace

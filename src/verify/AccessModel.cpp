@@ -1,0 +1,120 @@
+//===- verify/AccessModel.cpp - Independent access re-derivation ----------===//
+
+#include "verify/AccessModel.h"
+
+#include "ir/Expr.h"
+#include "support/Casting.h"
+
+using namespace alf;
+using namespace alf::ir;
+using namespace alf::verify;
+using namespace alf::verify::detail;
+
+namespace {
+
+void collectExprReads(const Expr *E, std::vector<Ref> &Out) {
+  walkExpr(E, [&Out](const Expr *Node) {
+    if (const auto *AR = dyn_cast<ArrayRefExpr>(Node)) {
+      Out.push_back(Ref{AR->getSymbol(), AR->getOffset(), /*IsWrite=*/false});
+      return;
+    }
+    if (const auto *SR = dyn_cast<ScalarRefExpr>(Node))
+      Out.push_back(Ref{SR->getSymbol(), std::nullopt, /*IsWrite=*/false});
+  });
+}
+
+} // namespace
+
+std::vector<Ref> detail::collectRefs(const ir::Stmt &S) {
+  std::vector<Ref> Out;
+  switch (S.getKind()) {
+  case Stmt::StmtKind::Normalized: {
+    const auto *NS = cast<NormalizedStmt>(&S);
+    Out.push_back(Ref{NS->getLHS(), NS->getLHSOffset(), /*IsWrite=*/true});
+    collectExprReads(NS->getRHS(), Out);
+    return Out;
+  }
+  case Stmt::StmtKind::Reduce: {
+    const auto *RS = cast<ReduceStmt>(&S);
+    Out.push_back(Ref{RS->getAccumulator(), std::nullopt, /*IsWrite=*/true});
+    collectExprReads(RS->getBody(), Out);
+    return Out;
+  }
+  case Stmt::StmtKind::Comm: {
+    const auto *CS = cast<CommStmt>(&S);
+    Out.push_back(Ref{CS->getArray(), std::nullopt, /*IsWrite=*/false});
+    Out.push_back(Ref{CS->getArray(), std::nullopt, /*IsWrite=*/true});
+    return Out;
+  }
+  case Stmt::StmtKind::Opaque: {
+    const auto *OS = cast<OpaqueStmt>(&S);
+    for (const ArraySymbol *A : OS->arrayReads())
+      Out.push_back(Ref{A, std::nullopt, /*IsWrite=*/false});
+    for (const ArraySymbol *A : OS->arrayWrites())
+      Out.push_back(Ref{A, std::nullopt, /*IsWrite=*/true});
+    for (const ScalarSymbol *Sc : OS->scalarReads())
+      Out.push_back(Ref{Sc, std::nullopt, /*IsWrite=*/false});
+    for (const ScalarSymbol *Sc : OS->scalarWrites())
+      Out.push_back(Ref{Sc, std::nullopt, /*IsWrite=*/true});
+    return Out;
+  }
+  }
+  return Out;
+}
+
+LabelKey detail::labelKey(const ir::Symbol *Sym,
+                          const std::optional<ir::Offset> &UDV,
+                          analysis::DepType Type) {
+  std::vector<int32_t> Elems;
+  if (UDV)
+    for (unsigned D = 0; D < UDV->rank(); ++D)
+      Elems.push_back((*UDV)[D]);
+  return LabelKey{Sym->getId(), UDV.has_value(), std::move(Elems), Type};
+}
+
+std::string detail::labelKeyStr(const ir::Program &P, const LabelKey &K) {
+  const auto &[SymId, HasUDV, Elems, Type] = K;
+  std::string DistText = "unknown";
+  if (HasUDV)
+    DistText = ir::Offset(Elems).str();
+  return "(" + P.getSymbol(SymId)->getName() + ", " + DistText + ", " +
+         analysis::getDepTypeName(Type) + ")";
+}
+
+std::map<std::pair<unsigned, unsigned>, std::set<LabelKey>>
+detail::deriveDependences(const ir::Program &P) {
+  unsigned N = P.numStmts();
+  std::vector<std::vector<Ref>> Refs(N);
+  for (unsigned I = 0; I < N; ++I)
+    Refs[I] = collectRefs(*P.getStmt(I));
+
+  std::map<std::pair<unsigned, unsigned>, std::set<LabelKey>> Deps;
+  for (unsigned Src = 0; Src < N; ++Src) {
+    for (unsigned Tgt = Src + 1; Tgt < N; ++Tgt) {
+      std::set<LabelKey> Labels;
+      for (const Ref &SrcRef : Refs[Src]) {
+        for (const Ref &TgtRef : Refs[Tgt]) {
+          if (SrcRef.Sym != TgtRef.Sym)
+            continue;
+          if (!SrcRef.IsWrite && !TgtRef.IsWrite)
+            continue;
+          analysis::DepType Type;
+          if (SrcRef.IsWrite && TgtRef.IsWrite)
+            Type = analysis::DepType::Output;
+          else if (SrcRef.IsWrite)
+            Type = analysis::DepType::Flow;
+          else
+            Type = analysis::DepType::Anti;
+          std::optional<ir::Offset> UDV;
+          if (SrcRef.Off && TgtRef.Off &&
+              SrcRef.Off->rank() == TgtRef.Off->rank())
+            UDV = *SrcRef.Off - *TgtRef.Off;
+          Labels.insert(labelKey(SrcRef.Sym, UDV, Type));
+        }
+      }
+      if (!Labels.empty())
+        Deps.emplace(std::make_pair(Src, Tgt), std::move(Labels));
+    }
+  }
+  return Deps;
+}

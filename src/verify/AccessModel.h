@@ -1,0 +1,75 @@
+//===- verify/AccessModel.h - Independent access re-derivation -*- C++ -*-===//
+//
+// Part of the ALF project: array-level fusion and contraction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal to src/verify: re-derives the variable accesses of each
+/// statement kind directly from the statement's fields, deliberately NOT
+/// calling ir::Stmt::getAccesses — the whole point of the oracle is that
+/// a bug in the production access model shows up as a diff instead of
+/// propagating into the verdict. The modeled semantics (paper section
+/// 2.1 / Definition 2):
+///
+///  * normalized  `[R] A@d0 := f(...)` — writes A at d0; reads each RHS
+///    array reference at its offset and each RHS scalar (no offset);
+///  * reduce      `[R] s := op<< f(...)` — writes s (no offset); reads as
+///    a normalized RHS;
+///  * comm        — reads and writes its array, both unrepresentable;
+///  * opaque      — every declared read/write, all unrepresentable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALF_VERIFY_ACCESSMODEL_H
+#define ALF_VERIFY_ACCESSMODEL_H
+
+#include "analysis/ASDG.h"
+#include "ir/Program.h"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace alf {
+namespace verify {
+namespace detail {
+
+/// One re-derived access: symbol, constant offset when representable,
+/// direction.
+struct Ref {
+  const ir::Symbol *Sym = nullptr;
+  std::optional<ir::Offset> Off;
+  bool IsWrite = false;
+};
+
+/// All accesses of \p S, re-derived from its fields.
+std::vector<Ref> collectRefs(const ir::Stmt &S);
+
+/// A dependence label in comparison-friendly form: symbol id, whether the
+/// distance is representable, its elements, and the dependence type.
+using LabelKey =
+    std::tuple<unsigned, bool, std::vector<int32_t>, analysis::DepType>;
+
+/// Canonical key of one (Var, UDV, Type) tuple.
+LabelKey labelKey(const ir::Symbol *Sym, const std::optional<ir::Offset> &UDV,
+                  analysis::DepType Type);
+
+/// Renders a label key as "(name, @(..)|unknown, type)" using \p P for
+/// symbol names.
+std::string labelKeyStr(const ir::Program &P, const LabelKey &K);
+
+/// The oracle's full dependence set: for every ordered statement pair
+/// (Src < Tgt), the set of labels the access model implies. Pairs with no
+/// dependence are absent.
+std::map<std::pair<unsigned, unsigned>, std::set<LabelKey>>
+deriveDependences(const ir::Program &P);
+
+} // namespace detail
+} // namespace verify
+} // namespace alf
+
+#endif // ALF_VERIFY_ACCESSMODEL_H

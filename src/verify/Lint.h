@@ -1,0 +1,84 @@
+//===- verify/Lint.h - Frontend source diagnostics -------------*- C++ -*-===//
+//
+// Part of the ALF project: array-level fusion and contraction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source-level lint over a freshly parsed (pre-normalization) program,
+/// driving `zplc --lint`. Reported with `file:line:col:` positions so
+/// editors and CI can jump to them:
+///
+///  * error:   a right-hand-side array whose rank differs from the
+///    statement's region rank (the parser only checks the target);
+///  * error:   a read of an array that is not live-in before anything
+///    writes it (the value is undefined in the source language; the
+///    interpreter's zero-fill masks the bug);
+///  * warning: a read whose footprint (region shifted by the reference
+///    offset) leaves the union of the footprints written so far — the
+///    halo elements read as uninitialized;
+///  * warning: a dead statement — it writes an array that is not
+///    live-out and is never read afterwards;
+///  * warning: an array that is declared but never referenced.
+///
+/// Statement positions come from the parser (ParseResult::StmtPositions)
+/// as plain (line, column) pairs so this layer stays independent of the
+/// frontend. Lint must run before normalization: normalization inserts
+/// statements, which would misalign ids and positions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALF_VERIFY_LINT_H
+#define ALF_VERIFY_LINT_H
+
+#include "ir/Program.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace alf {
+namespace verify {
+
+enum class LintSeverity { Warning, Error };
+
+/// Printable name ("warning", "error").
+const char *getLintSeverityName(LintSeverity S);
+
+/// One diagnostic. Line/Col are 1-based; 0 means "no position" (e.g.
+/// declaration-level findings).
+struct LintDiag {
+  LintSeverity Severity = LintSeverity::Warning;
+  unsigned Line = 0;
+  unsigned Col = 0;
+  std::string Message;
+
+  /// Renders as "file:line:col: severity: message" (position omitted
+  /// when unknown).
+  std::string render(const std::string &FileName) const;
+};
+
+/// All diagnostics of one lint run, in source order.
+struct LintResult {
+  std::vector<LintDiag> Diags;
+
+  bool hasErrors() const;
+
+  /// One render()ed diagnostic per line (empty string when clean).
+  std::string render(const std::string &FileName) const;
+
+  /// Process exit code for lint drivers: 1 when any error, else 0.
+  int exitCode() const { return hasErrors() ? 1 : 0; }
+};
+
+/// Lints \p P. \p StmtPositions maps statement ids (parse order) to
+/// (line, column); statements beyond its end render without a position.
+LintResult
+lintProgram(const ir::Program &P,
+            const std::vector<std::pair<unsigned, unsigned>> &StmtPositions =
+                {});
+
+} // namespace verify
+} // namespace alf
+
+#endif // ALF_VERIFY_LINT_H

@@ -1,0 +1,54 @@
+//===- verify/Verify.cpp - Levels, findings, reports ----------------------===//
+
+#include "verify/Verify.h"
+
+#include <cstdlib>
+
+using namespace alf;
+using namespace alf::verify;
+
+const char *verify::getVerifyLevelName(VerifyLevel L) {
+  switch (L) {
+  case VerifyLevel::Off:
+    return "off";
+  case VerifyLevel::Structural:
+    return "structural";
+  case VerifyLevel::Full:
+    return "full";
+  }
+  return "off";
+}
+
+std::optional<VerifyLevel> verify::verifyLevelNamed(const std::string &Name) {
+  for (VerifyLevel L :
+       {VerifyLevel::Off, VerifyLevel::Structural, VerifyLevel::Full})
+    if (Name == getVerifyLevelName(L))
+      return L;
+  return std::nullopt;
+}
+
+VerifyLevel verify::defaultVerifyLevel() {
+  if (const char *Env = std::getenv("ALF_VERIFY"))
+    if (std::optional<VerifyLevel> L = verifyLevelNamed(Env))
+      return *L;
+  return VerifyLevel::Structural;
+}
+
+std::string VerifyFinding::str() const {
+  return "[" + Pass + "] " + Message;
+}
+
+void VerifyReport::take(VerifyReport Other) {
+  for (VerifyFinding &F : Other.Findings)
+    Findings.push_back(std::move(F));
+}
+
+std::string VerifyReport::str() const {
+  std::string Out;
+  for (const VerifyFinding &F : Findings) {
+    if (!Out.empty())
+      Out += '\n';
+    Out += F.str();
+  }
+  return Out;
+}

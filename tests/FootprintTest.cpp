@@ -1,0 +1,79 @@
+//===- tests/FootprintTest.cpp - Allocation-bounds regression tests --------===//
+//
+// Targeted regressions for analysis::FootprintInfo: the halo bounding box
+// must be the exact union of every reference's shifted region, including
+// at rank 3 with negative and mixed-sign offsets where a min/max slip in
+// one dimension silently under- or over-allocates.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Footprint.h"
+#include "ir/Expr.h"
+#include "ir/Program.h"
+
+#include <gtest/gtest.h>
+
+using namespace alf;
+using namespace alf::analysis;
+using namespace alf::ir;
+
+namespace {
+
+void expectBounds(const FootprintInfo &FI, const ArraySymbol *A,
+                  std::vector<int64_t> Lo, std::vector<int64_t> Hi) {
+  const Region *B = FI.boundsFor(A);
+  ASSERT_NE(B, nullptr) << A->getName() << " has no footprint";
+  ASSERT_EQ(B->rank(), Lo.size()) << A->getName();
+  for (unsigned D = 0; D < B->rank(); ++D) {
+    EXPECT_EQ(B->lo(D), Lo[D]) << A->getName() << " dim " << D;
+    EXPECT_EQ(B->hi(D), Hi[D]) << A->getName() << " dim " << D;
+  }
+}
+
+TEST(FootprintTest, Rank3NegativeOffsetsExtendLowBounds) {
+  Program P("fp-neg");
+  const Region *R = P.regionFromExtents({4, 5, 6}); // [1..4, 1..5, 1..6]
+  ArraySymbol *A = P.makeArray("A", 3);
+  ArraySymbol *B = P.makeArray("B", 3);
+  // B is read at two strictly negative offsets; its box must reach down
+  // to 1-2 = -1 in dim 0, 1-1 = 0 in dim 1, 1-3 = -2 in dim 2, while the
+  // high bounds stay at the region's (no positive shift anywhere).
+  P.assign(R, A,
+           add(aref(B, {-2, 0, -3}), aref(B, {0, -1, 0})));
+  FootprintInfo FI = FootprintInfo::compute(P);
+  expectBounds(FI, B, {-1, 0, -2}, {4, 5, 6});
+  expectBounds(FI, A, {1, 1, 1}, {4, 5, 6});
+}
+
+TEST(FootprintTest, Rank3MixedSignOffsetsWidenBothEnds) {
+  Program P("fp-mixed");
+  const Region *R = P.regionFromExtents({4, 4, 4});
+  ArraySymbol *A = P.makeArray("A", 3);
+  ArraySymbol *B = P.makeArray("B", 3);
+  // One reference shifts (-1, +2, 0), another (+3, -2, -1): per dimension
+  // the box unions both shifts, so each dimension widens independently —
+  // a regression guard against pairing the wrong min/max per axis.
+  P.assign(R, A, aref(B, {-1, 2, 0}));
+  P.assign(R, A, aref(B, {3, -2, -1}));
+  FootprintInfo FI = FootprintInfo::compute(P);
+  expectBounds(FI, B, {0, -1, 0}, {7, 6, 4});
+}
+
+TEST(FootprintTest, LHSOffsetAndMultiRegionUnion) {
+  Program P("fp-lhs");
+  const Region *R1 = P.regionFromExtents({3, 3, 3});
+  const Region *R2 = P.internRegion(Region({2, 2, 2}, {5, 5, 5}));
+  ArraySymbol *A = P.makeArray("A", 3);
+  ArraySymbol *B = P.makeArray("B", 3);
+  // Writes through a mixed-sign target offset union with reads from a
+  // second, non-canonical region.
+  P.assign(R1, A, Offset({-1, 0, 2}), aref(B));
+  P.assign(R2, A, aref(B, {1, 1, 1}));
+  FootprintInfo FI = FootprintInfo::compute(P);
+  // A: R1 + (-1,0,2) = [0..2, 1..3, 3..5] union R2 = [2..5]^3.
+  expectBounds(FI, A, {0, 1, 2}, {5, 5, 5});
+  // B: R1 + 0 union R2 + (1,1,1) = [1..3]^3 union [3..6]^3.
+  expectBounds(FI, B, {1, 1, 1}, {6, 6, 6});
+}
+
+} // namespace

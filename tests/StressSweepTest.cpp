@@ -9,8 +9,15 @@
 // by the parallel executor — all of which must agree exactly with the
 // unoptimized baseline.
 //
+// Every compilation here runs through driver::Pipeline at
+// VerifyLevel::Full with a collecting error handler, so the sweep is
+// simultaneously a translation-validation soak: a dependence-oracle
+// mismatch, failed legality proof, or statically detected race on any of
+// the seeds fails the test even when the outputs happen to agree.
+//
 //===----------------------------------------------------------------------===//
 
+#include "driver/Pipeline.h"
 #include "exec/Eval.h"
 #include "exec/Interpreter.h"
 #include "exec/NativeJit.h"
@@ -20,6 +27,7 @@
 #include "ir/Verifier.h"
 #include "runtime/Runtime.h"
 #include "scalarize/Scalarize.h"
+#include "verify/Verify.h"
 #include "xform/Strategy.h"
 
 #include <filesystem>
@@ -56,49 +64,74 @@ GeneratorConfig sweepConfig(uint64_t Seed) {
 
 class StressSweepTest : public ::testing::TestWithParam<uint64_t> {};
 
+/// Pipeline options for the sweep: full translation validation, findings
+/// collected into \p Collected instead of aborting so the test can print
+/// them with the offending program attached.
+driver::PipelineOptions fullVerifyOptions(verify::VerifyReport &Collected,
+                                          unsigned NumThreads = 1) {
+  driver::PipelineOptions PO;
+  PO.Verify = verify::VerifyLevel::Full;
+  PO.Parallel.NumThreads = NumThreads;
+  PO.OnVerifyError = [&Collected](const verify::VerifyReport &R) {
+    for (const verify::VerifyFinding &F : R.Findings)
+      Collected.Findings.push_back(F);
+  };
+  return PO;
+}
+
 TEST_P(StressSweepTest, AllStrategiesAndExecutorsAgree) {
   uint64_t Seed = GetParam();
   GeneratorConfig Cfg = sweepConfig(Seed);
   auto P = generateRandomProgram(Cfg);
-  normalizeProgram(*P);
-  ASSERT_TRUE(isWellFormed(*P)) << P->str();
-  ASDG G = ASDG::build(*P);
+  verify::VerifyReport Collected;
+  unsigned NumThreads = 1 + static_cast<unsigned>(Seed % 4); // 1..4
+  driver::Pipeline PL(*P, fullVerifyOptions(Collected, NumThreads));
+  ASSERT_TRUE(isWellFormed(PL.program())) << P->str();
+  const ASDG &G = PL.asdg();
 
   uint64_t RunSeed = Seed ^ 0xfeed;
-  auto Base = scalarize::scalarizeWithStrategy(G, Strategy::Baseline);
+  auto Base = PL.scalarize(Strategy::Baseline);
   RunResult BaseRes = run(Base, RunSeed);
 
   // Every strategy, sequential and parallel, against the baseline oracle.
-  ParallelOptions Opts;
-  Opts.NumThreads = 1 + static_cast<unsigned>(Seed % 4); // 1..4
+  // PL.run(ExecMode::Parallel) race-checks each schedule before running.
   for (Strategy S : allStrategies()) {
-    StrategyResult SR = applyStrategy(G, S);
+    StrategyResult SR = PL.strategy(S);
     ASSERT_TRUE(isValidPartition(SR.Partition))
         << getStrategyName(S) << "\n" << P->str();
-    auto LP = scalarize::scalarize(G, SR);
+    auto LP = PL.scalarize(SR);
     std::string Why;
     ASSERT_TRUE(resultsMatch(BaseRes, run(LP, RunSeed), 0.0, &Why))
         << getStrategyName(S) << " sequential diverged: " << Why << "\n"
         << P->str();
-    ASSERT_TRUE(
-        resultsMatch(BaseRes, runParallel(LP, RunSeed, Opts), 0.0, &Why))
-        << getStrategyName(S) << " parallel (" << Opts.NumThreads
+    ASSERT_TRUE(resultsMatch(
+        BaseRes, PL.run(LP, ExecMode::Parallel, RunSeed), 0.0, &Why))
+        << getStrategyName(S) << " parallel (" << NumThreads
         << " threads) diverged: " << Why << "\n"
         << P->str();
   }
 
-  // Partial contraction (rolling buffers), sequential and parallel.
+  // Partial contraction (rolling buffers), sequential and parallel. The
+  // rolling-buffer schedule is certified explicitly (it is built outside
+  // the pipeline's strategy path).
   {
     auto LP = scalarize::scalarizeWithPartialContraction(
         G, Strategy::C2, SequentialDims::dims({0, 1}));
+    ParallelSchedule Sched = planParallelism(LP);
+    Collected.take(verify::verifyParallelSafety(LP, Sched));
+    ParallelOptions Opts;
+    Opts.NumThreads = NumThreads;
     std::string Why;
     ASSERT_TRUE(resultsMatch(BaseRes, run(LP, RunSeed), 0.0, &Why))
         << "partial contraction diverged: " << Why << "\n" << P->str();
-    ASSERT_TRUE(
-        resultsMatch(BaseRes, runParallel(LP, RunSeed, Opts), 0.0, &Why))
+    ASSERT_TRUE(resultsMatch(BaseRes, runParallel(LP, RunSeed, Opts, Sched),
+                             0.0, &Why))
         << "partial contraction parallel diverged: " << Why << "\n"
         << P->str();
   }
+
+  EXPECT_TRUE(Collected.ok())
+      << "verification findings:\n" << Collected.str() << P->str();
 }
 
 // The same sweep through the native JIT backend. A strategy subset keeps
@@ -112,16 +145,16 @@ TEST_P(StressSweepTest, NativeJitAgrees) {
   uint64_t Seed = GetParam();
   GeneratorConfig Cfg = sweepConfig(Seed);
   auto P = generateRandomProgram(Cfg);
-  normalizeProgram(*P);
-  ASSERT_TRUE(isWellFormed(*P)) << P->str();
-  ASDG G = ASDG::build(*P);
+  verify::VerifyReport Collected;
+  driver::Pipeline PL(*P, fullVerifyOptions(Collected));
+  ASSERT_TRUE(isWellFormed(PL.program())) << P->str();
 
   uint64_t RunSeed = Seed ^ 0xfeed;
-  auto Base = scalarize::scalarizeWithStrategy(G, Strategy::Baseline);
+  auto Base = PL.scalarize(Strategy::Baseline);
   RunResult BaseRes = run(Base, RunSeed);
 
   for (Strategy S : {Strategy::Baseline, Strategy::C2, Strategy::C2F3}) {
-    auto LP = scalarize::scalarizeWithStrategy(G, S);
+    auto LP = PL.scalarize(S);
     JitRunInfo Info;
     RunResult JitRes = runNativeJit(LP, RunSeed, &Info);
     ASSERT_TRUE(Info.UsedJit)
@@ -133,6 +166,9 @@ TEST_P(StressSweepTest, NativeJitAgrees) {
         << getStrategyName(S) << " jit diverged: " << Why << "\n"
         << P->str();
   }
+
+  EXPECT_TRUE(Collected.ok())
+      << "verification findings:\n" << Collected.str() << P->str();
 }
 
 /// Rebuilds an IR right-hand side as a runtime expression over the given
@@ -250,6 +286,9 @@ TEST_P(StressSweepTest, RuntimeEngineAgrees) {
     O.MaxTraceLen = PC.MaxTraceLen;
     O.Mode = PC.Mode;
     O.TraceCache = PC.TraceCache;
+    // Every flush's pipeline re-proves its analysis, strategy and (for
+    // the parallel policy) schedule; a failed proof aborts the test.
+    O.Verify = verify::VerifyLevel::Full;
     O.Parallel.NumThreads = 1 + static_cast<unsigned>(Seed % 4);
     if (PC.Mode == ExecMode::NativeJit)
       O.Jit.CacheDir = (std::filesystem::temp_directory_path() /

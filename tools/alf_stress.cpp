@@ -10,13 +10,20 @@
 //
 // Usage: alf_stress [--count=N] [--seed=S] [--procs=P] [--threads=T]
 //                   [--emit-c] [--exec=sequential|parallel|jit]
+//                   [--verify=off|structural|full]
 //
 // --exec=jit additionally runs every strategy through the native JIT
 // backend (one shared engine, so the kernel cache is exercised) and
 // requires bit-identity with the interpreter oracle; it skips cleanly
 // when no system compiler is available.
 //
-// Exits nonzero on the first divergence, printing the offending program.
+// --verify (default full) turns the run into a translation-validation
+// sweep as well: every ASDG is diffed against the dependence oracle,
+// every strategy re-proved against the fusion/contraction legality
+// definitions, and every parallel schedule race-checked before it runs.
+//
+// Exits nonzero on the first divergence or failed proof, printing the
+// offending program.
 //
 //===----------------------------------------------------------------------===//
 
@@ -32,6 +39,7 @@
 #include "scalarize/Scalarize.h"
 #include "support/Statistic.h"
 #include "support/StringUtil.h"
+#include "verify/Verify.h"
 #include "xform/Strategy.h"
 
 #include <memory>
@@ -116,6 +124,7 @@ int main(int argc, char **argv) {
   unsigned Threads = 4;
   bool EmitC = false;
   ExecMode Mode = ExecMode::Sequential;
+  verify::VerifyLevel VerifyLevel = verify::VerifyLevel::Full;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg.rfind("--count=", 0) == 0)
@@ -135,10 +144,19 @@ int main(int argc, char **argv) {
         return 2;
       }
       Mode = *M;
+    } else if (Arg.rfind("--verify=", 0) == 0) {
+      std::optional<verify::VerifyLevel> L =
+          verify::verifyLevelNamed(Arg.substr(9));
+      if (!L) {
+        std::cerr << "unknown verification level '" << Arg.substr(9) << "'\n";
+        return 2;
+      }
+      VerifyLevel = *L;
     } else {
       std::cerr << "usage: alf_stress [--count=N] [--seed=S] [--procs=P] "
                    "[--threads=T] [--emit-c] "
-                   "[--exec=sequential|parallel|jit]\n";
+                   "[--exec=sequential|parallel|jit] "
+                   "[--verify=off|structural|full]\n";
       return 2;
     }
   }
@@ -174,7 +192,12 @@ int main(int argc, char **argv) {
     Cfg.AddOpaque = ProgSeed % 7 == 0;
 
     auto P = generateRandomProgram(Cfg);
-    driver::Pipeline PL(*P);
+    driver::PipelineOptions PO;
+    PO.Verify = VerifyLevel;
+    PO.OnVerifyError = [&P](const verify::VerifyReport &R) {
+      fail(*P, "verification failed: " + R.Findings.front().str());
+    };
+    driver::Pipeline PL(*P, PO);
     if (!isWellFormed(PL.program()))
       fail(*P, "normalized program failed verification");
     ++S.Programs;
@@ -215,6 +238,11 @@ int main(int argc, char **argv) {
       // be bit-identical to the sequential oracle.
       if (Threads > 0) {
         ParallelSchedule Sched = planParallelism(LP);
+        if (VerifyLevel >= verify::VerifyLevel::Full) {
+          verify::VerifyReport R = verify::verifyParallelSafety(LP, Sched);
+          if (!R.ok())
+            fail(*P, "verification failed: " + R.Findings.front().str());
+        }
         S.ParallelNests += Sched.numParallelNests();
         ParallelOptions Opts;
         Opts.NumThreads = Threads;
@@ -236,10 +264,19 @@ int main(int argc, char **argv) {
       if (!resultsMatch(BaseRes, run(LP, ProgSeed ^ 0xfeed), 0.0, &Why))
         fail(*P, "partial contraction diverged: " + Why);
       if (Threads > 0) {
+        // Plan explicitly so the rolling-buffer race check certifies the
+        // exact schedule that runs.
+        ParallelSchedule Sched = planParallelism(LP);
+        if (VerifyLevel >= verify::VerifyLevel::Full) {
+          verify::VerifyReport R = verify::verifyParallelSafety(LP, Sched);
+          if (!R.ok())
+            fail(*P, "verification failed: " + R.Findings.front().str());
+        }
         ParallelOptions Opts;
         Opts.NumThreads = Threads;
-        if (!resultsMatch(BaseRes, runParallel(LP, ProgSeed ^ 0xfeed, Opts),
-                          0.0, &Why))
+        if (!resultsMatch(BaseRes,
+                          runParallel(LP, ProgSeed ^ 0xfeed, Opts, Sched), 0.0,
+                          &Why))
           fail(*P, "partial contraction parallel diverged: " + Why);
         ++S.ParallelRuns;
       }
@@ -279,6 +316,14 @@ int main(int argc, char **argv) {
             << "  partial plans:   " << S.PartialPlans << '\n'
             << "  distributed runs:" << S.DistRuns << '\n'
             << "  C compilations:  " << S.CCompiles << '\n';
+  if (VerifyLevel >= verify::VerifyLevel::Full)
+    std::cout << "  verified:        "
+              << getStatisticValue("verify", "NumStrategyProofs")
+              << " strategy proofs, "
+              << getStatisticValue("verify", "NumOracleLabels")
+              << " oracle labels, "
+              << getStatisticValue("verify", "NumNestsCertifiedParallel")
+              << " nests certified parallel\n";
   if (Jit)
     std::cout << "  jit runs:        " << S.JitRuns << " ("
               << getStatisticValue("jit", "NumJitCompiles") << " compiles, "
