@@ -10,6 +10,12 @@
 //                [--explain] [--stats] [--simulate] [--lint]
 //                [--exec=sequential|parallel|jit] [--seed=S]
 //                [--verify=off|structural|full]
+//                [--trace=out.json] [--metrics]
+//
+// --trace=FILE records every compilation phase and kernel launch and
+// writes a Chrome trace_event file (load it at chrome://tracing or
+// ui.perfetto.dev); --metrics prints the aggregated per-span timing
+// table (count, total/p50/p95 wall time, bytes moved) to stdout.
 //
 // --exec runs the compiled program and prints its live-out scalars and
 // array checksums; `--exec=jit` compiles the kernels natively with the
@@ -32,6 +38,7 @@
 #include "ir/Align.h"
 #include "ir/Normalize.h"
 #include "ir/Verifier.h"
+#include "obs/Obs.h"
 #include "scalarize/CEmitter.h"
 #include "scalarize/FortranEmitter.h"
 #include "scalarize/Scalarize.h"
@@ -79,7 +86,8 @@ int main(int argc, char **argv) {
   xform::Strategy Strat = xform::Strategy::C2;
   bool DumpASDG = false, DumpSource = false, EmitC = false,
        EmitF77 = false, Explain = false, Stats = false,
-       Simulate = false, Lint = false;
+       Simulate = false, Lint = false, Metrics = false;
+  std::string TraceFile;
   std::optional<xform::ExecMode> Exec;
   uint64_t Seed = 1;
   verify::VerifyLevel VerifyLevel = verify::VerifyLevel::Full;
@@ -150,6 +158,14 @@ int main(int argc, char **argv) {
       Seed = static_cast<uint64_t>(std::atoll(Arg.c_str() + 7));
       continue;
     }
+    if (Arg.rfind("--trace=", 0) == 0) {
+      TraceFile = Arg.substr(8);
+      continue;
+    }
+    if (Arg == "--metrics") {
+      Metrics = true;
+      continue;
+    }
     std::ifstream In(Arg);
     if (!In) {
       std::cerr << "zplc: error: cannot open " << Arg << '\n';
@@ -160,6 +176,11 @@ int main(int argc, char **argv) {
     Source = Buf.str();
     FileName = Arg;
   }
+
+  if (!TraceFile.empty())
+    obs::setLevel(obs::ObsLevel::Trace);
+  else if (Metrics && obs::level() == obs::ObsLevel::Off)
+    obs::setLevel(obs::ObsLevel::Counters);
 
   frontend::ParseResult Result = frontend::parseProgram(Source, FileName);
   if (!Result.succeeded()) {
@@ -185,8 +206,12 @@ int main(int argc, char **argv) {
     return LR.exitCode();
   }
 
-  ir::alignProgram(P);
-  unsigned Temps = ir::normalizeProgram(P);
+  unsigned Temps;
+  {
+    obs::Span S("pipeline.normalize", FileName);
+    ir::alignProgram(P);
+    Temps = ir::normalizeProgram(P);
+  }
   auto Errors = ir::verifyProgram(P);
   if (!Errors.empty()) {
     // Verifier findings have no source position; still use the
@@ -212,19 +237,31 @@ int main(int argc, char **argv) {
     std::exit(1);
   };
 
-  analysis::ASDG G = analysis::ASDG::build(P);
-  if (VerifyLevel >= verify::VerifyLevel::Structural)
+  analysis::ASDG G = [&] {
+    obs::Span S("pipeline.asdg");
+    return analysis::ASDG::build(P);
+  }();
+  if (VerifyLevel >= verify::VerifyLevel::Structural) {
+    obs::Span S("pipeline.verify", "structure");
     CheckVerified(verify::verifyStructure(P, &G));
-  if (VerifyLevel >= verify::VerifyLevel::Full)
+  }
+  if (VerifyLevel >= verify::VerifyLevel::Full) {
+    obs::Span S("pipeline.verify", "dependences");
     CheckVerified(verify::verifyDependences(G));
+  }
   if (DumpASDG) {
     G.print(std::cout);
     std::cout << '\n';
   }
 
-  xform::StrategyResult SR = xform::applyStrategy(G, Strat);
-  if (VerifyLevel >= verify::VerifyLevel::Full)
+  xform::StrategyResult SR = [&] {
+    obs::Span S("pipeline.strategy", xform::getStrategyName(Strat));
+    return xform::applyStrategy(G, Strat);
+  }();
+  if (VerifyLevel >= verify::VerifyLevel::Full) {
+    obs::Span S("pipeline.verify", "strategy");
     CheckVerified(verify::verifyStrategy(G, SR));
+  }
   std::cout << "// strategy " << xform::getStrategyName(Strat) << ": "
             << SR.Partition.numClusters() << " loop nests, "
             << SR.Contracted.size() << " arrays contracted";
@@ -241,7 +278,10 @@ int main(int argc, char **argv) {
               << xform::contractionReport(SR) << '\n';
   }
 
-  auto LP = scalarize::scalarize(G, SR);
+  auto LP = [&] {
+    obs::Span S("pipeline.scalarize");
+    return scalarize::scalarize(G, SR);
+  }();
   if (EmitC)
     std::cout << scalarize::emitC(LP, "kernel");
   else if (EmitF77)
@@ -267,14 +307,17 @@ int main(int argc, char **argv) {
   }
   if (Exec) {
     exec::RunResult Res;
-    if (*Exec == xform::ExecMode::Parallel) {
-      // Plan explicitly so the schedule run is the schedule certified.
-      exec::ParallelSchedule Sched = exec::planParallelism(LP);
-      if (VerifyLevel >= verify::VerifyLevel::Full)
-        CheckVerified(verify::verifyParallelSafety(LP, Sched));
-      Res = exec::runParallel(LP, Seed, exec::ParallelOptions(), Sched);
-    } else {
-      Res = exec::runWithMode(LP, Seed, *Exec);
+    {
+      obs::Span ExecSpan("pipeline.execute", xform::getExecModeName(*Exec));
+      if (*Exec == xform::ExecMode::Parallel) {
+        // Plan explicitly so the schedule run is the schedule certified.
+        exec::ParallelSchedule Sched = exec::planParallelism(LP);
+        if (VerifyLevel >= verify::VerifyLevel::Full)
+          CheckVerified(verify::verifyParallelSafety(LP, Sched));
+        Res = exec::runParallel(LP, Seed, exec::ParallelOptions(), Sched);
+      } else {
+        Res = exec::runWithMode(LP, Seed, *Exec);
+      }
     }
     std::cout << "\n// executed (" << xform::getExecModeName(*Exec)
               << ", seed " << Seed << "):\n";
@@ -293,6 +336,18 @@ int main(int argc, char **argv) {
   if (Stats) {
     std::cout << '\n';
     alf::printStatistics(std::cout);
+  }
+  if (Metrics) {
+    std::cout << '\n';
+    obs::writeMetricsTable(std::cout);
+  }
+  if (!TraceFile.empty()) {
+    if (!obs::writeChromeTraceFile(TraceFile)) {
+      std::cerr << "zplc: cannot write trace to " << TraceFile << '\n';
+      return 1;
+    }
+    std::cout << "// trace: " << obs::numTraceEvents() << " events -> "
+              << TraceFile << '\n';
   }
   return 0;
 }

@@ -4,6 +4,7 @@
 
 #include "comm/CommInsertion.h"
 #include "ir/Normalize.h"
+#include "obs/Obs.h"
 #include "scalarize/Scalarize.h"
 #include "support/ErrorHandling.h"
 #include "support/Statistic.h"
@@ -25,10 +26,14 @@ void Pipeline::prepare() {
   if (Prepared)
     return;
   Prepared = true;
-  if (Opts.Normalize)
+  if (Opts.Normalize) {
+    obs::Span S("pipeline.normalize", P.getName());
     ir::normalizeProgram(P);
-  if (Opts.Comm == CommPolicy::ArrayLevel)
+  }
+  if (Opts.Comm == CommPolicy::ArrayLevel) {
+    obs::Span S("pipeline.comm.array");
     comm::insertArrayLevelComm(P, Opts.PipelinedComm);
+  }
 }
 
 void Pipeline::check(verify::VerifyReport R) {
@@ -57,19 +62,31 @@ ir::Program &Pipeline::program() {
 const analysis::ASDG &Pipeline::asdg() {
   if (!G) {
     prepare();
-    G = analysis::ASDG::build(P);
-    if (Opts.Verify >= verify::VerifyLevel::Structural)
+    {
+      obs::Span S("pipeline.asdg");
+      G = analysis::ASDG::build(P);
+    }
+    if (Opts.Verify >= verify::VerifyLevel::Structural) {
+      obs::Span S("pipeline.verify", "structure");
       check(verify::verifyStructure(P, &*G));
-    if (Opts.Verify >= verify::VerifyLevel::Full)
+    }
+    if (Opts.Verify >= verify::VerifyLevel::Full) {
+      obs::Span S("pipeline.verify", "dependences");
       check(verify::verifyDependences(*G));
+    }
   }
   return *G;
 }
 
 StrategyResult Pipeline::strategy(Strategy S) {
-  StrategyResult SR = applyStrategy(asdg(), S);
-  if (Opts.Verify >= verify::VerifyLevel::Full)
+  StrategyResult SR = [&] {
+    obs::Span Sp("pipeline.strategy", xform::getStrategyName(S));
+    return applyStrategy(asdg(), S);
+  }();
+  if (Opts.Verify >= verify::VerifyLevel::Full) {
+    obs::Span Sp("pipeline.verify", "strategy");
     check(verify::verifyStrategy(*G, SR));
+  }
   return SR;
 }
 
@@ -80,9 +97,14 @@ lir::LoopProgram Pipeline::scalarize(Strategy S) {
 }
 
 lir::LoopProgram Pipeline::scalarize(const StrategyResult &SR) {
-  lir::LoopProgram LP = alf::scalarize::scalarize(asdg(), SR);
-  if (Opts.Comm == CommPolicy::LoopLevel)
+  lir::LoopProgram LP = [&] {
+    obs::Span S("pipeline.scalarize");
+    return alf::scalarize::scalarize(asdg(), SR);
+  }();
+  if (Opts.Comm == CommPolicy::LoopLevel) {
+    obs::Span S("pipeline.comm.loop");
     comm::insertLoopLevelComm(LP);
+  }
   return LP;
 }
 
@@ -98,14 +120,17 @@ CompiledProgram Pipeline::compile(Strategy S) {
 
 RunResult Pipeline::run(const lir::LoopProgram &LP, ExecMode Mode,
                         uint64_t Seed, JitRunInfo *JitInfo) {
+  obs::Span Sp("pipeline.execute", xform::getExecModeName(Mode));
   if (Mode == ExecMode::NativeJit)
     return jit().run(LP, Seed, JitInfo);
   if (Mode == ExecMode::Parallel) {
     // Plan explicitly so the schedule actually executed is the schedule
     // the race detector certified.
     ParallelSchedule Sched = planParallelism(LP);
-    if (Opts.Verify >= verify::VerifyLevel::Full)
+    if (Opts.Verify >= verify::VerifyLevel::Full) {
+      obs::Span S("pipeline.verify", "parallel-safety");
       check(verify::verifyParallelSafety(LP, Sched));
+    }
     return runParallel(LP, Seed, Opts.Parallel, Sched);
   }
   return runWithMode(LP, Seed, Mode, Opts.Parallel);

@@ -3,6 +3,7 @@
 #include "exec/Interpreter.h"
 
 #include "exec/Eval.h"
+#include "obs/Obs.h"
 #include "support/Casting.h"
 #include "support/StringUtil.h"
 
@@ -13,13 +14,36 @@ using namespace alf::exec;
 using namespace alf::ir;
 using namespace alf::lir;
 
+namespace {
+
+/// Static-storage span names for per-kernel attribution (obs::Span keeps
+/// the pointer, so the names must outlive every span). Clusters beyond
+/// the table share one bucket; at that point per-kernel timing has
+/// stopped being readable anyway.
+const char *nestSpanName(unsigned ClusterId) {
+  static const char *const Names[] = {
+      "kernel.nest0",  "kernel.nest1",  "kernel.nest2",  "kernel.nest3",
+      "kernel.nest4",  "kernel.nest5",  "kernel.nest6",  "kernel.nest7",
+      "kernel.nest8",  "kernel.nest9",  "kernel.nest10", "kernel.nest11",
+      "kernel.nest12", "kernel.nest13", "kernel.nest14", "kernel.nest15"};
+  constexpr unsigned N = sizeof(Names) / sizeof(Names[0]);
+  return ClusterId < N ? Names[ClusterId] : "kernel.nest_other";
+}
+
+} // namespace
+
 void exec::runOnStorage(const LoopProgram &LP, Storage &Store) {
+  obs::Span Outer("exec.interpreter");
+  if (Outer.active())
+    Outer.setBytes(Store.totalBytes());
+
   EvalContext Ctx;
   Ctx.Store = &Store;
   Ctx.LP = &LP;
 
   for (const auto &NodePtr : LP.nodes()) {
     if (const auto *Nest = dyn_cast<LoopNest>(NodePtr.get())) {
+      obs::Span S(nestSpanName(Nest->ClusterId));
       iterateNest(*Nest, Ctx);
       continue;
     }

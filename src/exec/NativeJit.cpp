@@ -3,6 +3,7 @@
 #include "exec/NativeJit.h"
 
 #include "exec/Eval.h"
+#include "obs/Obs.h"
 #include "scalarize/CEmitter.h"
 #include "support/Process.h"
 #include "support/Statistic.h"
@@ -165,6 +166,7 @@ JitEngine::LoadedKernel *JitEngine::kernelFor(const scalarize::CModule &Module,
   if (It != Kernels.end()) {
     Info.CacheHitMemory = true;
     ++NumJitCacheMemoryHits;
+    obs::instant("jit.cache.memory_hit");
     return &It->second;
   }
 
@@ -185,6 +187,7 @@ JitEngine::LoadedKernel *JitEngine::kernelFor(const scalarize::CModule &Module,
       if (LoadedKernel *Kernel = LoadEntry(Handle)) {
         Info.CacheHitDisk = true;
         ++NumJitCacheDiskHits;
+        obs::instant("jit.cache.disk_hit");
         // Refresh the entry's age so the LRU eviction bound keeps hot
         // kernels and drops cold ones.
         std::filesystem::last_write_time(
@@ -218,7 +221,10 @@ JitEngine::LoadedKernel *JitEngine::kernelFor(const scalarize::CModule &Module,
                     SrcPath + " -lm";
   Info.Compiled = true;
   ++NumJitCompiles;
-  CommandResult CR = runCommand(Cmd, Opts.CompileTimeoutSec);
+  CommandResult CR = [&] {
+    obs::Span S("jit.compile");
+    return runCommand(Cmd, Opts.CompileTimeoutSec);
+  }();
   if (!CR.ok()) {
     ++NumJitCompileFailures;
     std::filesystem::remove(TmpSo, EC);
@@ -258,7 +264,10 @@ void JitEngine::runOnStorage(const LoopProgram &LP, Storage &Store,
   ++NumJitRuns;
   JitRunInfo Info;
   std::string WhyNot;
-  scalarize::CModule Module = scalarize::emitCModule(LP, KernelName);
+  scalarize::CModule Module = [&] {
+    obs::Span S("jit.emit");
+    return scalarize::emitCModule(LP, KernelName);
+  }();
   LoadedKernel *Kernel = nullptr;
   if (!Module.ok())
     WhyNot = "emission failed: " + Module.Error;
@@ -296,7 +305,12 @@ void JitEngine::runOnStorage(const LoopProgram &LP, Storage &Store,
   for (const ScalarSymbol *S : Module.Scalars)
     Scalars.push_back(Store.getScalar(S));
 
-  Kernel->Entry(Arrays.data(), Scalars.data());
+  {
+    obs::Span S("jit.dispatch");
+    if (S.active())
+      S.setBytes(Store.totalBytes());
+    Kernel->Entry(Arrays.data(), Scalars.data());
+  }
 
   for (size_t I = 0; I < Module.Scalars.size(); ++I)
     Store.setScalar(Module.Scalars[I], Scalars[I]);

@@ -4,6 +4,7 @@
 
 #include "exec/Eval.h"
 #include "exec/NativeJit.h"
+#include "obs/Obs.h"
 #include "support/Casting.h"
 #include "support/ErrorHandling.h"
 #include "support/Statistic.h"
@@ -188,6 +189,10 @@ void exec::runParallelOnStorage(const LoopProgram &LP, Storage &Store,
                                 const ParallelSchedule &Sched) {
   ALF_STATISTIC(NumParallelRuns, "parallel", "Parallel executor runs");
   ++NumParallelRuns;
+
+  obs::Span Outer("exec.parallel");
+  if (Outer.active())
+    Outer.setBytes(Store.totalBytes());
 
   EvalContext Ctx;
   Ctx.Store = &Store;

@@ -1,0 +1,350 @@
+//===- obs/Obs.cpp - Structured tracing and kernel metrics ------------------===//
+
+#include "obs/Obs.h"
+
+#include "support/StringUtil.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+
+using namespace alf;
+using namespace alf::obs;
+
+namespace {
+
+/// Upper bound on stored trace events; phase/kernel granularity stays
+/// far below this, but a runaway caller must not exhaust memory. Beyond
+/// the cap events are dropped (and counted); metrics keep aggregating.
+constexpr size_t MaxEvents = 1 << 20;
+
+/// Per-name aggregation. Samples are kept raw for exact percentiles;
+/// at phase granularity the vectors stay small, and reset() clears them
+/// (the bench runner resets between benchmarks).
+struct Agg {
+  uint64_t Count = 0;
+  uint64_t TotalNs = 0;
+  uint64_t MaxNs = 0;
+  uint64_t Bytes = 0;
+  std::vector<uint64_t> Samples;
+};
+
+struct Registry {
+  std::mutex Mutex;
+  std::vector<TraceEvent> Events;
+  uint64_t Dropped = 0;
+  std::map<std::string, Agg> Metrics;
+  unsigned NextTid = 0;
+};
+
+Registry &registry() {
+  static Registry R;
+  return R;
+}
+
+std::chrono::steady_clock::time_point traceEpoch() {
+  static const std::chrono::steady_clock::time_point Epoch =
+      std::chrono::steady_clock::now();
+  return Epoch;
+}
+
+uint64_t nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - traceEpoch())
+          .count());
+}
+
+struct ThreadState {
+  unsigned Tid = ~0u;
+  unsigned Depth = 0;
+};
+
+ThreadState &threadState() {
+  thread_local ThreadState TS;
+  if (TS.Tid == ~0u) {
+    Registry &R = registry();
+    std::lock_guard<std::mutex> Lock(R.Mutex);
+    TS.Tid = R.NextTid++;
+  }
+  return TS;
+}
+
+/// Records one finished event: always into the metrics, into the event
+/// buffer only when \p WantTrace.
+void record(const char *Name, std::string Detail, char Ph, uint64_t StartNs,
+            uint64_t DurNs, uint64_t Bytes, unsigned Tid, unsigned Depth,
+            bool WantTrace) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  Agg &A = R.Metrics[Name];
+  ++A.Count;
+  A.TotalNs += DurNs;
+  A.MaxNs = std::max(A.MaxNs, DurNs);
+  A.Bytes += Bytes;
+  A.Samples.push_back(DurNs);
+  if (!WantTrace)
+    return;
+  if (R.Events.size() >= MaxEvents) {
+    ++R.Dropped;
+    return;
+  }
+  TraceEvent E;
+  E.Name = Name;
+  E.Detail = std::move(Detail);
+  E.Ph = Ph;
+  E.StartNs = StartNs;
+  E.DurNs = DurNs;
+  E.Bytes = Bytes;
+  E.Tid = Tid;
+  E.Depth = Depth;
+  R.Events.push_back(std::move(E));
+}
+
+/// Percentile by nearest-rank over a sorted copy.
+uint64_t percentile(std::vector<uint64_t> Samples, double P) {
+  if (Samples.empty())
+    return 0;
+  std::sort(Samples.begin(), Samples.end());
+  size_t Rank = static_cast<size_t>(P * static_cast<double>(Samples.size()));
+  if (Rank >= Samples.size())
+    Rank = Samples.size() - 1;
+  return Samples[Rank];
+}
+
+/// Escapes \p S for a JSON string literal (control chars, quote,
+/// backslash).
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += formatString("\\u%04x", C);
+      else
+        Out += C;
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+std::atomic<int> obs::detail::LevelRaw{-1};
+
+ObsLevel obs::detail::levelSlow() {
+  // First query: seed from $ALF_OBS. Races here are benign (every racer
+  // computes the same value).
+  ObsLevel L = ObsLevel::Off;
+  if (const char *Env = std::getenv("ALF_OBS"))
+    if (std::optional<ObsLevel> Parsed = obsLevelNamed(Env))
+      L = *Parsed;
+  int Expected = -1;
+  LevelRaw.compare_exchange_strong(Expected, static_cast<int>(L),
+                                   std::memory_order_relaxed);
+  return static_cast<ObsLevel>(LevelRaw.load(std::memory_order_relaxed));
+}
+
+const char *obs::getObsLevelName(ObsLevel L) {
+  switch (L) {
+  case ObsLevel::Off:
+    return "off";
+  case ObsLevel::Counters:
+    return "counters";
+  case ObsLevel::Trace:
+    return "trace";
+  }
+  return "?";
+}
+
+std::optional<ObsLevel> obs::obsLevelNamed(const std::string &Name) {
+  if (Name == "off")
+    return ObsLevel::Off;
+  if (Name == "counters")
+    return ObsLevel::Counters;
+  if (Name == "trace")
+    return ObsLevel::Trace;
+  return std::nullopt;
+}
+
+ObsLevel obs::level() {
+  int Raw = detail::LevelRaw.load(std::memory_order_relaxed);
+  if (Raw < 0)
+    return detail::levelSlow();
+  return static_cast<ObsLevel>(Raw);
+}
+
+void obs::setLevel(ObsLevel L) {
+  detail::LevelRaw.store(static_cast<int>(L), std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Span / instant
+//===----------------------------------------------------------------------===//
+
+Span::Span(const char *Name) : Name(Name) {
+  if (!obs::enabled())
+    return;
+  Active = true;
+  WantTrace = obs::tracing();
+  StartNs = nowNs();
+  ++threadState().Depth;
+}
+
+Span::Span(const char *Name, std::string InDetail) : Span(Name) {
+  if (Active)
+    Detail = std::move(InDetail);
+}
+
+Span::~Span() {
+  if (!Active)
+    return;
+  uint64_t EndNs = nowNs();
+  ThreadState &TS = threadState();
+  --TS.Depth;
+  record(Name, std::move(Detail), 'X', StartNs, EndNs - StartNs, Bytes,
+         TS.Tid, TS.Depth, WantTrace);
+}
+
+void obs::instant(const char *Name) { instant(Name, std::string()); }
+
+void obs::instant(const char *Name, std::string Detail) {
+  if (!enabled())
+    return;
+  ThreadState &TS = threadState();
+  record(Name, std::move(Detail), 'i', nowNs(), 0, 0, TS.Tid, TS.Depth,
+         tracing());
+}
+
+//===----------------------------------------------------------------------===//
+// Queries and export
+//===----------------------------------------------------------------------===//
+
+std::vector<TraceEvent> obs::traceEvents() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  return R.Events;
+}
+
+size_t obs::numTraceEvents() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  return R.Events.size();
+}
+
+uint64_t obs::numDroppedEvents() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  return R.Dropped;
+}
+
+std::vector<MetricRow> obs::metricsTable() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  std::vector<MetricRow> Rows;
+  Rows.reserve(R.Metrics.size());
+  for (const auto &[Name, A] : R.Metrics) {
+    MetricRow Row;
+    Row.Name = Name;
+    Row.Count = A.Count;
+    Row.TotalNs = A.TotalNs;
+    Row.MaxNs = A.MaxNs;
+    Row.Bytes = A.Bytes;
+    Row.P50Ns = percentile(A.Samples, 0.50);
+    Row.P95Ns = percentile(A.Samples, 0.95);
+    Rows.push_back(std::move(Row));
+  }
+  // std::map iteration is already name-sorted; keep that contract
+  // explicit for readers.
+  return Rows;
+}
+
+std::optional<MetricRow> obs::metricsFor(const std::string &Name) {
+  for (MetricRow &Row : metricsTable())
+    if (Row.Name == Name)
+      return std::move(Row);
+  return std::nullopt;
+}
+
+void obs::writeMetricsTable(std::ostream &OS) {
+  std::vector<MetricRow> Rows = metricsTable();
+  OS << "=== Observability metrics ===\n";
+  OS << formatString("%-28s %8s %12s %12s %12s %12s\n", "span", "count",
+                     "total_us", "p50_us", "p95_us", "bytes");
+  for (const MetricRow &Row : Rows)
+    OS << formatString("%-28s %8llu %12.1f %12.1f %12.1f %12llu\n",
+                       Row.Name.c_str(),
+                       static_cast<unsigned long long>(Row.Count),
+                       static_cast<double>(Row.TotalNs) / 1e3,
+                       static_cast<double>(Row.P50Ns) / 1e3,
+                       static_cast<double>(Row.P95Ns) / 1e3,
+                       static_cast<unsigned long long>(Row.Bytes));
+}
+
+void obs::writeChromeTrace(std::ostream &OS) {
+  std::vector<TraceEvent> Events = traceEvents();
+  OS << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool First = true;
+  for (const TraceEvent &E : Events) {
+    if (!First)
+      OS << ',';
+    First = false;
+    // Chrome wants ts/dur in microseconds; fractional keeps ns fidelity.
+    OS << formatString("\n{\"name\":\"%s\",\"cat\":\"alf\",\"ph\":\"%c\","
+                       "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u",
+                       jsonEscape(E.Name).c_str(), E.Ph,
+                       static_cast<double>(E.StartNs) / 1e3,
+                       static_cast<double>(E.DurNs) / 1e3, E.Tid);
+    if (E.Ph == 'i')
+      OS << ",\"s\":\"t\""; // instant scope: thread
+    OS << formatString(",\"args\":{\"depth\":%u", E.Depth);
+    if (E.Bytes)
+      OS << formatString(",\"bytes\":%llu",
+                         static_cast<unsigned long long>(E.Bytes));
+    if (!E.Detail.empty())
+      OS << ",\"detail\":\"" << jsonEscape(E.Detail) << '"';
+    OS << "}}";
+  }
+  OS << "\n]}\n";
+}
+
+bool obs::writeChromeTraceFile(const std::string &Path) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  writeChromeTrace(Out);
+  Out.flush();
+  if (!Out) {
+    std::remove(Path.c_str());
+    return false;
+  }
+  return true;
+}
+
+void obs::reset() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  R.Events.clear();
+  R.Dropped = 0;
+  R.Metrics.clear();
+}

@@ -1,0 +1,202 @@
+//===- obs/Obs.h - Structured tracing and kernel metrics -------*- C++ -*-===//
+//
+// Part of the ALF project: array-level fusion and contraction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pipeline's observability layer: lightweight RAII spans recorded
+/// into a per-process buffer, exported as Chrome `trace_event` JSON
+/// (load the file at chrome://tracing or ui.perfetto.dev) and as an
+/// aggregated per-phase/per-kernel metrics table (count, total/p50/p95
+/// wall time, bytes moved). Everything is gated behind a single global
+/// level so instrumented code pays one relaxed atomic load when
+/// observability is off:
+///
+///   ObsLevel::Off       — spans are inert; nothing is recorded.
+///   ObsLevel::Counters  — spans feed the aggregated metrics table only.
+///   ObsLevel::Trace     — additionally, every span/instant becomes one
+///                         Chrome trace event with thread id and nesting.
+///
+/// Usage:
+/// \code
+///   {
+///     obs::Span S("pipeline.asdg");          // timed while in scope
+///     ... build ...
+///     S.setBytes(G.sizeBytes());             // optional volume
+///   }
+///   obs::instant("jit.cache.memory_hit");    // zero-duration event
+/// \endcode
+///
+/// Span names are dotted phase paths ("pipeline.scalarize",
+/// "exec.interpreter", "kernel.nest0", "runtime.flush"); the metrics
+/// table aggregates by exact name. The default level comes from the
+/// ALF_OBS environment variable ("off" | "counters" | "trace"), else
+/// Off; tools expose it as `--trace=out.json` (implies Trace).
+///
+/// Thread behaviour: spans may open and close on any thread. Each
+/// thread gets a small stable tid (registration order) and its own
+/// nesting depth, so traces from the parallel executor render as
+/// per-thread lanes. Recording takes a mutex at span *end* only — span
+/// begin is two clock reads away from free — which is negligible at
+/// phase/kernel granularity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALF_OBS_OBS_H
+#define ALF_OBS_OBS_H
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace alf {
+namespace obs {
+
+/// How much the process records. Ordered: each level includes the work
+/// of the previous one.
+enum class ObsLevel : int {
+  Off = 0,      ///< No recording; spans cost one atomic load.
+  Counters = 1, ///< Aggregated metrics only (no per-event storage).
+  Trace = 2,    ///< Metrics plus the full Chrome-exportable event trace.
+};
+
+/// Printable level name ("off", "counters", "trace").
+const char *getObsLevelName(ObsLevel L);
+
+/// Parses a level name; nullopt when unknown.
+std::optional<ObsLevel> obsLevelNamed(const std::string &Name);
+
+/// The process-wide level. Defaults to $ALF_OBS (else Off), read once.
+ObsLevel level();
+void setLevel(ObsLevel L);
+
+namespace detail {
+extern std::atomic<int> LevelRaw; ///< -1 until initialized from $ALF_OBS.
+ObsLevel levelSlow();
+} // namespace detail
+
+/// True when anything at all is being recorded.
+inline bool enabled() {
+  int Raw = detail::LevelRaw.load(std::memory_order_relaxed);
+  if (Raw < 0)
+    return detail::levelSlow() != ObsLevel::Off;
+  return Raw != 0;
+}
+
+/// True when the full event trace is being recorded.
+inline bool tracing() {
+  int Raw = detail::LevelRaw.load(std::memory_order_relaxed);
+  if (Raw < 0)
+    return detail::levelSlow() == ObsLevel::Trace;
+  return Raw == static_cast<int>(ObsLevel::Trace);
+}
+
+/// Restores the previous level on destruction (tests, tools).
+class ScopedLevel {
+  ObsLevel Saved;
+
+public:
+  explicit ScopedLevel(ObsLevel L) : Saved(level()) { setLevel(L); }
+  ~ScopedLevel() { setLevel(Saved); }
+  ScopedLevel(const ScopedLevel &) = delete;
+  ScopedLevel &operator=(const ScopedLevel &) = delete;
+};
+
+/// One RAII span: wall time from construction to destruction, attributed
+/// to \p Name. \p Name must have static storage duration (pass string
+/// literals); \p Detail may be dynamic and lands in the trace event's
+/// args. Inert (no clock read, no allocation) when the level is Off.
+class Span {
+public:
+  explicit Span(const char *Name);
+  Span(const char *Name, std::string Detail);
+  ~Span();
+
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+
+  /// Attributes \p N bytes of data movement to this span (shows up in
+  /// the metrics table's bytes column and the trace event args).
+  void setBytes(uint64_t N) { Bytes = N; }
+  void addBytes(uint64_t N) { Bytes += N; }
+
+  bool active() const { return Active; }
+
+private:
+  const char *Name = nullptr;
+  std::string Detail;
+  uint64_t StartNs = 0;
+  uint64_t Bytes = 0;
+  bool Active = false;
+  bool WantTrace = false;
+};
+
+/// Records a zero-duration instant event (a "something happened" mark:
+/// cache hit, fallback, eviction). Counts into the metrics table at
+/// Counters and above; becomes a `ph:"i"` trace event at Trace.
+void instant(const char *Name);
+void instant(const char *Name, std::string Detail);
+
+/// One recorded trace event, exposed for tests. Times are nanoseconds
+/// since the process's trace epoch.
+struct TraceEvent {
+  const char *Name;
+  std::string Detail;
+  char Ph;          ///< 'X' complete span, 'i' instant.
+  uint64_t StartNs; ///< begin (or instant) time
+  uint64_t DurNs;   ///< 0 for instants
+  uint64_t Bytes;
+  unsigned Tid;   ///< small stable per-thread id (registration order)
+  unsigned Depth; ///< span nesting depth on that thread at begin
+};
+
+/// Snapshot of the recorded events, in completion order.
+std::vector<TraceEvent> traceEvents();
+size_t numTraceEvents();
+
+/// Events dropped because the trace buffer hit its cap (the metrics
+/// table keeps aggregating regardless).
+uint64_t numDroppedEvents();
+
+/// One row of the aggregated metrics table.
+struct MetricRow {
+  std::string Name;
+  uint64_t Count = 0;
+  uint64_t TotalNs = 0;
+  uint64_t P50Ns = 0;
+  uint64_t P95Ns = 0;
+  uint64_t MaxNs = 0;
+  uint64_t Bytes = 0;
+};
+
+/// All rows, sorted by name (deterministic across runs).
+std::vector<MetricRow> metricsTable();
+
+/// The row of one span/instant name; nullopt when never recorded.
+std::optional<MetricRow> metricsFor(const std::string &Name);
+
+/// Writes the metrics table as aligned text (tools' --metrics output).
+void writeMetricsTable(std::ostream &OS);
+
+/// Writes the whole trace in Chrome trace_event JSON object format:
+/// `{"displayTimeUnit":"ms","traceEvents":[...]}`, each event carrying
+/// name/cat/ph/ts/dur/pid/tid (ts and dur in microseconds) plus
+/// args.{detail,bytes,depth} when present. Loadable by chrome://tracing
+/// and Perfetto as-is.
+void writeChromeTrace(std::ostream &OS);
+
+/// writeChromeTrace into \p Path; false (with no partial file kept) on
+/// I/O failure.
+bool writeChromeTraceFile(const std::string &Path);
+
+/// Clears recorded events and metrics (not the level, not thread ids).
+void reset();
+
+} // namespace obs
+} // namespace alf
+
+#endif // ALF_OBS_OBS_H

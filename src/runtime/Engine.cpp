@@ -9,6 +9,7 @@
 #include "exec/NativeJit.h"
 #include "exec/ParallelExecutor.h"
 #include "exec/Storage.h"
+#include "obs/Obs.h"
 #include "runtime/Trace.h"
 #include "support/ErrorHandling.h"
 #include "support/Statistic.h"
@@ -232,6 +233,7 @@ std::unique_ptr<TExpr> EngineImpl::lower(const ExNode &N) {
 void EngineImpl::recorded() {
   ++Stats.StmtsRecorded;
   ++NumRuntimeStmts;
+  obs::instant("runtime.record");
   if (Opts.MaxTraceLen && Trace.size() >= Opts.MaxTraceLen)
     flush(FlushTrigger::Cap);
 }
@@ -538,6 +540,8 @@ void EngineImpl::flush(FlushTrigger T) {
   if (Trace.empty())
     return;
 
+  obs::Span FlushSpan("runtime.flush", getFlushTriggerName(T));
+
   for (ArraySlot &S : Slots)
     S.External = S.State.use_count() > 1;
 
@@ -551,14 +555,17 @@ void EngineImpl::flush(FlushTrigger T) {
       E = It->second.get();
       Hit = true;
     } else {
+      obs::Span BuildSpan("runtime.build");
       Fresh = buildEntry();
       E = Cache.emplace(std::move(Key), std::move(Fresh))
               .first->second.get();
     }
   } else {
+    obs::Span BuildSpan("runtime.build");
     Fresh = buildEntry();
     E = Fresh.get();
   }
+  obs::instant(Hit ? "runtime.cache.hit" : "runtime.cache.miss");
 
   FlushInfo Info;
   Info.TraceLen = static_cast<unsigned>(Trace.size());

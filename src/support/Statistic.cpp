@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <mutex>
 #include <vector>
 
 using namespace alf;
@@ -13,27 +14,47 @@ using namespace alf;
 namespace {
 
 /// Lazily constructed registry (no static constructor at load time).
+/// Guarded by registryMutex(): counters register themselves from
+/// whichever thread increments first, and the report/reset walkers must
+/// never observe a half-grown vector.
 std::vector<Statistic *> &registry() {
   static std::vector<Statistic *> R;
   return R;
 }
 
+std::mutex &registryMutex() {
+  static std::mutex M;
+  return M;
+}
+
+std::vector<Statistic *> registrySnapshot() {
+  std::lock_guard<std::mutex> Lock(registryMutex());
+  return registry();
+}
+
 } // namespace
 
 void Statistic::registerSelf() {
+  std::lock_guard<std::mutex> Lock(registryMutex());
+  // Two threads can race to the first increment; only one may insert.
+  if (Registered.load(std::memory_order_relaxed))
+    return;
   registry().push_back(this);
-  Registered = true;
+  Registered.store(true, std::memory_order_relaxed);
 }
 
 void alf::printStatistics(std::ostream &OS) {
-  std::vector<Statistic *> Sorted = registry();
-  std::stable_sort(Sorted.begin(), Sorted.end(),
-                   [](const Statistic *L, const Statistic *R) {
-                     int Cmp = std::strcmp(L->getGroup(), R->getGroup());
-                     if (Cmp != 0)
-                       return Cmp < 0;
-                     return std::strcmp(L->getName(), R->getName()) < 0;
-                   });
+  std::vector<Statistic *> Sorted = registrySnapshot();
+  // Strict (group, name) order — registration order depends on which
+  // pass ran (or which thread won) first and must not leak into the
+  // report, or golden tests and report diffs churn run to run.
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const Statistic *L, const Statistic *R) {
+              int Cmp = std::strcmp(L->getGroup(), R->getGroup());
+              if (Cmp != 0)
+                return Cmp < 0;
+              return std::strcmp(L->getName(), R->getName()) < 0;
+            });
   OS << "=== Statistics ===\n";
   for (const Statistic *S : Sorted) {
     if (S->value() == 0)
@@ -45,13 +66,13 @@ void alf::printStatistics(std::ostream &OS) {
 }
 
 void alf::resetStatistics() {
-  for (Statistic *S : registry())
+  for (Statistic *S : registrySnapshot())
     S->reset();
 }
 
 uint64_t alf::getStatisticValue(const char *Group, const char *Name) {
   uint64_t Total = 0;
-  for (const Statistic *S : registry())
+  for (const Statistic *S : registrySnapshot())
     if (std::strcmp(S->getGroup(), Group) == 0 &&
         std::strcmp(S->getName(), Name) == 0)
       Total += S->value();

@@ -22,6 +22,7 @@
 #ifndef ALF_SUPPORT_STATISTIC_H
 #define ALF_SUPPORT_STATISTIC_H
 
+#include <atomic>
 #include <cstdint>
 #include <ostream>
 
@@ -29,12 +30,16 @@ namespace alf {
 
 /// One named counter. Define at namespace/function scope with
 /// ALF_STATISTIC; the counter registers itself on first increment.
+/// Increments are relaxed atomics, so counters bumped from the parallel
+/// executor's workers (or from JIT compiles racing across threads) stay
+/// exact, and registration is serialized so report order never depends
+/// on which thread incremented first.
 class Statistic {
   const char *Group;
   const char *Name;
   const char *Desc;
-  uint64_t Value = 0;
-  bool Registered = false;
+  std::atomic<uint64_t> Value{0};
+  std::atomic<bool> Registered{false};
 
   void registerSelf();
 
@@ -45,27 +50,30 @@ public:
   const char *getGroup() const { return Group; }
   const char *getName() const { return Name; }
   const char *getDesc() const { return Desc; }
-  uint64_t value() const { return Value; }
+  uint64_t value() const { return Value.load(std::memory_order_relaxed); }
 
   Statistic &operator++() {
-    if (!Registered)
+    if (!Registered.load(std::memory_order_relaxed))
       registerSelf();
-    ++Value;
+    Value.fetch_add(1, std::memory_order_relaxed);
     return *this;
   }
 
   Statistic &operator+=(uint64_t N) {
-    if (!Registered)
+    if (!Registered.load(std::memory_order_relaxed))
       registerSelf();
-    Value += N;
+    Value.fetch_add(N, std::memory_order_relaxed);
     return *this;
   }
 
   /// Zeroes the counter (used by resetStatistics through the registry).
-  void reset() { Value = 0; }
+  void reset() { Value.store(0, std::memory_order_relaxed); }
 };
 
-/// Writes all nonzero counters, grouped, aligned.
+/// Writes all nonzero counters, aligned, in sorted (group, name) order —
+/// the order is a documented contract so golden tests and textual diffs
+/// of two reports are stable regardless of which pass touched its
+/// counters first.
 void printStatistics(std::ostream &OS);
 
 /// Zeroes every registered counter.

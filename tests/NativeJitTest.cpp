@@ -13,6 +13,7 @@
 #include "analysis/ASDG.h"
 #include "exec/ParallelExecutor.h"
 #include "ir/Normalize.h"
+#include "obs/Obs.h"
 #include "scalarize/Scalarize.h"
 #include "support/Statistic.h"
 #include "xform/Strategy.h"
@@ -353,6 +354,57 @@ TEST(NativeJitTest, ContractedLookupMatchesLinearScan) {
                             Sym) != SR.Contracted.end();
     EXPECT_EQ(SR.isContracted(Sym), Linear) << Sym->getName();
   }
+}
+
+// The obs metrics must let a reader tell a cold dispatch (one compile,
+// no cache hits) apart from a warm one (zero compiles, one memory hit).
+TEST(NativeJitTest, ObsMetricsDistinguishCompileFromCacheHit) {
+  if (!HaveCompiler)
+    GTEST_SKIP() << "no usable system C compiler";
+  TempCacheDir Cache;
+  JitOptions Opts;
+  Opts.CacheDir = Cache.Path;
+  JitEngine Engine(Opts);
+
+  auto P = tp::makeUserTempPair();
+  auto LP = makeLoopProgram(*P);
+
+  obs::ScopedLevel Lvl(obs::ObsLevel::Counters);
+
+  obs::reset();
+  JitRunInfo Cold;
+  Engine.run(LP, 11, &Cold);
+  ASSERT_TRUE(Cold.UsedJit) << Cold.FallbackReason;
+  ASSERT_TRUE(Cold.Compiled);
+  auto Compile = obs::metricsFor("jit.compile");
+  ASSERT_TRUE(Compile.has_value());
+  EXPECT_EQ(Compile->Count, 1u);
+  EXPECT_GT(Compile->TotalNs, 0u);
+  auto Emit = obs::metricsFor("jit.emit");
+  ASSERT_TRUE(Emit.has_value());
+  EXPECT_EQ(Emit->Count, 1u);
+  auto Dispatch = obs::metricsFor("jit.dispatch");
+  ASSERT_TRUE(Dispatch.has_value());
+  EXPECT_EQ(Dispatch->Count, 1u);
+  EXPECT_GT(Dispatch->Bytes, 0u);
+  EXPECT_FALSE(obs::metricsFor("jit.cache.memory_hit").has_value());
+
+  // Warm: the same engine serves the kernel from memory. Zero compiles,
+  // nonzero cache hits. Emission still happens once per run because the
+  // cache key is the content hash of the emitted source.
+  obs::reset();
+  JitRunInfo Warm;
+  Engine.run(LP, 12, &Warm);
+  ASSERT_TRUE(Warm.UsedJit);
+  ASSERT_TRUE(Warm.CacheHitMemory);
+  EXPECT_FALSE(obs::metricsFor("jit.compile").has_value());
+  auto Hit = obs::metricsFor("jit.cache.memory_hit");
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_EQ(Hit->Count, 1u);
+  auto WarmDispatch = obs::metricsFor("jit.dispatch");
+  ASSERT_TRUE(WarmDispatch.has_value());
+  EXPECT_EQ(WarmDispatch->Count, 1u);
+  obs::reset();
 }
 
 } // namespace

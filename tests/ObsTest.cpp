@@ -1,0 +1,311 @@
+//===- tests/ObsTest.cpp - Observability subsystem tests ---------------------===//
+//
+// Pins the obs subsystem's external contracts: the Chrome trace_event
+// JSON schema (event names, ph/ts/tid fields and the exact empty-trace
+// serialization), well-formed span nesting, the aggregated metrics
+// table, and — the zero-cost-when-off guarantee — that a full pipeline
+// run at ObsLevel::Off records nothing at all.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "frontend/Parser.h"
+#include "obs/Obs.h"
+#include "support/Json.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+
+using namespace alf;
+
+namespace {
+
+const char *JacobiSource = R"(
+region R : [1..12, 1..12];
+array U, Unew : R;
+array Res : R temp;
+scalar maxres;
+
+[R] Res  := (U@(-1,0) + U@(1,0) + U@(0,-1) + U@(0,1)) * 0.25 - U;
+[R] Unew := U + Res * 0.8;
+[R] maxres := max << abs(Res);
+)";
+
+std::unique_ptr<ir::Program> parseJacobi() {
+  frontend::ParseResult R = frontend::parseProgram(JacobiSource, "<test>");
+  EXPECT_TRUE(R.succeeded());
+  return std::move(R.Prog);
+}
+
+/// Runs the whole pipeline (compile + execute) once.
+exec::RunResult runPipelineOnce(xform::ExecMode Mode) {
+  auto P = parseJacobi();
+  driver::Pipeline PL(*P, driver::PipelineOptions());
+  return PL.run(xform::Strategy::C2F3, Mode, 7);
+}
+
+class ObsTest : public ::testing::Test {
+protected:
+  void SetUp() override { obs::reset(); }
+  void TearDown() override { obs::reset(); }
+};
+
+//===----------------------------------------------------------------------===//
+// Levels
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObsTest, LevelNamesRoundTrip) {
+  for (obs::ObsLevel L : {obs::ObsLevel::Off, obs::ObsLevel::Counters,
+                          obs::ObsLevel::Trace})
+    EXPECT_EQ(obs::obsLevelNamed(obs::getObsLevelName(L)), L);
+  EXPECT_FALSE(obs::obsLevelNamed("verbose").has_value());
+}
+
+TEST_F(ObsTest, ScopedLevelRestores) {
+  obs::ObsLevel Before = obs::level();
+  {
+    obs::ScopedLevel Scoped(obs::ObsLevel::Trace);
+    EXPECT_EQ(obs::level(), obs::ObsLevel::Trace);
+  }
+  EXPECT_EQ(obs::level(), Before);
+}
+
+//===----------------------------------------------------------------------===//
+// ObsLevel::Off records nothing (zero-cost-when-off contract)
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObsTest, OffRecordsZeroEventsAcrossFullPipelineRun) {
+  obs::ScopedLevel Scoped(obs::ObsLevel::Off);
+  runPipelineOnce(xform::ExecMode::Sequential);
+  runPipelineOnce(xform::ExecMode::Parallel);
+  EXPECT_EQ(obs::numTraceEvents(), 0u);
+  EXPECT_TRUE(obs::metricsTable().empty());
+  EXPECT_EQ(obs::numDroppedEvents(), 0u);
+}
+
+TEST_F(ObsTest, OffSpanIsInert) {
+  obs::ScopedLevel Scoped(obs::ObsLevel::Off);
+  obs::Span S("test.span");
+  EXPECT_FALSE(S.active());
+}
+
+TEST_F(ObsTest, CountersAggregatesWithoutStoringEvents) {
+  obs::ScopedLevel Scoped(obs::ObsLevel::Counters);
+  runPipelineOnce(xform::ExecMode::Sequential);
+  EXPECT_EQ(obs::numTraceEvents(), 0u) << "Counters must not store events";
+  EXPECT_FALSE(obs::metricsTable().empty());
+  EXPECT_TRUE(obs::metricsFor("pipeline.execute").has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Golden: Chrome trace JSON schema
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObsTest, EmptyTraceGolden) {
+  std::ostringstream OS;
+  obs::writeChromeTrace(OS);
+  // Golden-pinned: the exact serialization of an empty trace. A change
+  // here is a format break every stored trace consumer will see.
+  EXPECT_EQ(OS.str(), "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n]}\n");
+}
+
+TEST_F(ObsTest, ChromeTraceSchemaGolden) {
+  {
+    obs::ScopedLevel Scoped(obs::ObsLevel::Trace);
+    runPipelineOnce(xform::ExecMode::Sequential);
+    obs::instant("test.marker", "detail text");
+  }
+  std::ostringstream OS;
+  obs::writeChromeTrace(OS);
+
+  std::string Error;
+  std::optional<json::Value> Root = json::parse(OS.str(), &Error);
+  ASSERT_TRUE(Root.has_value()) << "trace is not valid JSON: " << Error;
+
+  // Top-level object layout.
+  ASSERT_TRUE(Root->isObject());
+  EXPECT_EQ(Root->getString("displayTimeUnit").value_or(""), "ms");
+  const json::Value *Events = Root->get("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  ASSERT_TRUE(Events->isArray());
+  ASSERT_GT(Events->size(), 0u);
+
+  // Per-event schema: names, ph/ts/tid fields and types.
+  std::map<std::string, unsigned> NameCounts;
+  for (const json::Value &E : Events->items()) {
+    ASSERT_TRUE(E.isObject());
+    ASSERT_TRUE(E.getString("name").has_value());
+    EXPECT_EQ(E.getString("cat").value_or(""), "alf");
+    std::string Ph = E.getString("ph").value_or("");
+    EXPECT_TRUE(Ph == "X" || Ph == "i") << "unexpected phase " << Ph;
+    ASSERT_TRUE(E.getNumber("ts").has_value());
+    EXPECT_GE(*E.getNumber("ts"), 0.0);
+    ASSERT_TRUE(E.getNumber("dur").has_value());
+    EXPECT_EQ(E.getNumber("pid").value_or(-1), 1.0);
+    ASSERT_TRUE(E.getNumber("tid").has_value());
+    const json::Value *Args = E.get("args");
+    ASSERT_NE(Args, nullptr);
+    ASSERT_TRUE(Args->getNumber("depth").has_value());
+    if (Ph == "i") {
+      EXPECT_EQ(E.getNumber("dur").value_or(-1), 0.0);
+      EXPECT_EQ(E.getString("s").value_or(""), "t");
+    }
+    ++NameCounts[*E.getString("name")];
+  }
+
+  // The pinned event names a sequential pipeline run must produce.
+  for (const char *Required :
+       {"pipeline.normalize", "pipeline.asdg", "pipeline.strategy",
+        "pipeline.scalarize", "pipeline.execute", "exec.interpreter",
+        "kernel.nest0", "test.marker"})
+    EXPECT_TRUE(NameCounts.count(Required))
+        << "missing required event " << Required;
+  // ALF_VERIFY=full is exported by ctest, so verification spans fire too.
+  EXPECT_TRUE(NameCounts.count("pipeline.verify"));
+}
+
+TEST_F(ObsTest, TraceFileIsChromeLoadable) {
+  {
+    obs::ScopedLevel Scoped(obs::ObsLevel::Trace);
+    runPipelineOnce(xform::ExecMode::Sequential);
+  }
+  std::string Path = ::testing::TempDir() + "/alf_obs_test_trace.json";
+  ASSERT_TRUE(obs::writeChromeTraceFile(Path));
+  std::ifstream In(Path);
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  std::string Error;
+  EXPECT_TRUE(json::parse(Buf.str(), &Error).has_value()) << Error;
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Span nesting
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObsTest, SpanNestingWellFormed) {
+  {
+    obs::ScopedLevel Scoped(obs::ObsLevel::Trace);
+    runPipelineOnce(xform::ExecMode::Sequential);
+  }
+  std::vector<obs::TraceEvent> Events = obs::traceEvents();
+  ASSERT_FALSE(Events.empty());
+
+  // Per thread, replay the complete ('X') events as an interval forest:
+  // a child (greater depth) must lie within its parent's [start, end],
+  // and depths may only grow one level at a time downward.
+  std::map<unsigned, std::vector<const obs::TraceEvent *>> PerThread;
+  for (const obs::TraceEvent &E : Events)
+    if (E.Ph == 'X')
+      PerThread[E.Tid].push_back(&E);
+
+  for (auto &[Tid, Tev] : PerThread) {
+    // Events are recorded at span *end*; sort by start for the replay.
+    std::sort(Tev.begin(), Tev.end(),
+              [](const obs::TraceEvent *A, const obs::TraceEvent *B) {
+                if (A->StartNs != B->StartNs)
+                  return A->StartNs < B->StartNs;
+                return A->Depth < B->Depth;
+              });
+    std::vector<const obs::TraceEvent *> Stack;
+    for (const obs::TraceEvent *E : Tev) {
+      while (!Stack.empty() &&
+             E->StartNs >= Stack.back()->StartNs + Stack.back()->DurNs)
+        Stack.pop_back();
+      EXPECT_EQ(E->Depth, Stack.size())
+          << "event " << E->Name << " depth disagrees with its enclosing "
+          << "spans on tid " << Tid;
+      if (!Stack.empty()) {
+        EXPECT_GE(E->StartNs, Stack.back()->StartNs);
+        EXPECT_LE(E->StartNs + E->DurNs,
+                  Stack.back()->StartNs + Stack.back()->DurNs)
+            << "event " << E->Name << " escapes its parent "
+            << Stack.back()->Name;
+      }
+      Stack.push_back(E);
+    }
+  }
+}
+
+TEST_F(ObsTest, InstantEventsCarryThreadDepth) {
+  obs::ScopedLevel Scoped(obs::ObsLevel::Trace);
+  {
+    obs::Span Outer("test.outer");
+    obs::instant("test.inner_mark");
+  }
+  std::vector<obs::TraceEvent> Events = obs::traceEvents();
+  ASSERT_EQ(Events.size(), 2u);
+  // The instant fires inside the span, so it records the deeper depth;
+  // the span records its own (outer) depth.
+  const obs::TraceEvent &Mark = Events[0];
+  const obs::TraceEvent &Span = Events[1];
+  EXPECT_STREQ(Mark.Name, "test.inner_mark");
+  EXPECT_EQ(Mark.Ph, 'i');
+  EXPECT_STREQ(Span.Name, "test.outer");
+  EXPECT_EQ(Span.Ph, 'X');
+  EXPECT_EQ(Mark.Depth, Span.Depth + 1);
+  EXPECT_EQ(Mark.Tid, Span.Tid);
+}
+
+TEST_F(ObsTest, ThreadsGetDistinctTids) {
+  obs::ScopedLevel Scoped(obs::ObsLevel::Trace);
+  {
+    obs::Span Main("test.main_thread");
+    std::thread T([] { obs::Span Worker("test.worker_thread"); });
+    T.join();
+  }
+  std::vector<obs::TraceEvent> Events = obs::traceEvents();
+  ASSERT_EQ(Events.size(), 2u);
+  EXPECT_NE(Events[0].Tid, Events[1].Tid);
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics table
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObsTest, MetricsAggregateCountsTotalsAndBytes) {
+  obs::ScopedLevel Scoped(obs::ObsLevel::Counters);
+  for (int I = 0; I < 5; ++I) {
+    obs::Span S("test.repeated");
+    S.setBytes(100);
+  }
+  std::optional<obs::MetricRow> Row = obs::metricsFor("test.repeated");
+  ASSERT_TRUE(Row.has_value());
+  EXPECT_EQ(Row->Count, 5u);
+  EXPECT_EQ(Row->Bytes, 500u);
+  EXPECT_GE(Row->TotalNs, Row->MaxNs);
+  EXPECT_LE(Row->P50Ns, Row->P95Ns);
+  EXPECT_LE(Row->P95Ns, Row->MaxNs);
+}
+
+TEST_F(ObsTest, MetricsTableSortedByName) {
+  obs::ScopedLevel Scoped(obs::ObsLevel::Counters);
+  { obs::Span S("test.zebra"); }
+  { obs::Span S("test.aardvark"); }
+  { obs::Span S("test.middle"); }
+  std::vector<obs::MetricRow> Rows = obs::metricsTable();
+  ASSERT_GE(Rows.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(
+      Rows.begin(), Rows.end(),
+      [](const obs::MetricRow &A, const obs::MetricRow &B) {
+        return A.Name < B.Name;
+      }));
+}
+
+TEST_F(ObsTest, ResetClearsEverything) {
+  {
+    obs::ScopedLevel Scoped(obs::ObsLevel::Trace);
+    obs::Span S("test.span");
+  }
+  EXPECT_GT(obs::numTraceEvents(), 0u);
+  obs::reset();
+  EXPECT_EQ(obs::numTraceEvents(), 0u);
+  EXPECT_TRUE(obs::metricsTable().empty());
+}
+
+} // namespace

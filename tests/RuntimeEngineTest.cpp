@@ -12,6 +12,7 @@
 #include "runtime/Runtime.h"
 
 #include "exec/NativeJit.h"
+#include "obs/Obs.h"
 #include "support/Statistic.h"
 
 #include <filesystem>
@@ -317,6 +318,62 @@ TEST(RuntimeEngineTest, StatisticsAccumulate) {
   EXPECT_EQ(E.stats().Flushes, 1u);
   EXPECT_EQ(E.stats().StmtsRecorded, 1u);
   EXPECT_EQ(E.stats().CacheHits + E.stats().CacheMisses, E.stats().Flushes);
+}
+
+// The obs counters for record/flush/memoize events must agree with the
+// "runtime" statistics group over the same window: one miss on the first
+// trace shape, one memoized hit on the structurally identical second one.
+TEST(RuntimeEngineTest, ObsCountersMatchRuntimeStatistics) {
+  obs::ScopedLevel Lvl(obs::ObsLevel::Counters);
+  obs::reset();
+  uint64_t Flushes0 = getStatisticValue("runtime", "NumRuntimeFlushes");
+  uint64_t Stmts0 = getStatisticValue("runtime", "NumRuntimeStmts");
+  uint64_t Hits0 = getStatisticValue("runtime", "NumRuntimeCacheHits");
+  uint64_t Misses0 = getStatisticValue("runtime", "NumRuntimeCacheMisses");
+
+  Engine E;
+  Array A = rampInput(E, 8);
+  Array B = E.compute(r1(1, 6), Ex(A) * Ex(2.0));
+  E.flush();
+  Array C = E.compute(r1(1, 6), Ex(A) * Ex(3.0));
+  E.flush();
+  (void)B;
+  (void)C;
+
+  uint64_t FlushDelta =
+      getStatisticValue("runtime", "NumRuntimeFlushes") - Flushes0;
+  uint64_t StmtDelta = getStatisticValue("runtime", "NumRuntimeStmts") - Stmts0;
+  uint64_t HitDelta =
+      getStatisticValue("runtime", "NumRuntimeCacheHits") - Hits0;
+  uint64_t MissDelta =
+      getStatisticValue("runtime", "NumRuntimeCacheMisses") - Misses0;
+  ASSERT_EQ(FlushDelta, 2u);
+  ASSERT_EQ(StmtDelta, 2u);
+  ASSERT_EQ(MissDelta, 1u);
+  ASSERT_EQ(HitDelta, 1u);
+
+  auto Flush = obs::metricsFor("runtime.flush");
+  ASSERT_TRUE(Flush.has_value());
+  EXPECT_EQ(Flush->Count, FlushDelta);
+  auto Record = obs::metricsFor("runtime.record");
+  ASSERT_TRUE(Record.has_value());
+  EXPECT_EQ(Record->Count, StmtDelta);
+  auto Miss = obs::metricsFor("runtime.cache.miss");
+  ASSERT_TRUE(Miss.has_value());
+  EXPECT_EQ(Miss->Count, MissDelta);
+  auto Hit = obs::metricsFor("runtime.cache.hit");
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_EQ(Hit->Count, HitDelta);
+  // The trace-cache entry is built exactly once per miss.
+  auto Build = obs::metricsFor("runtime.build");
+  ASSERT_TRUE(Build.has_value());
+  EXPECT_EQ(Build->Count, MissDelta);
+
+  EXPECT_EQ(E.stats().Flushes, FlushDelta);
+  EXPECT_EQ(E.stats().StmtsRecorded, StmtDelta);
+  EXPECT_EQ(E.stats().CacheHits, HitDelta);
+  EXPECT_EQ(E.stats().CacheMisses, MissDelta);
+  obs::reset();
 }
 
 } // namespace

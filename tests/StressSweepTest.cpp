@@ -25,6 +25,7 @@
 #include "ir/Generator.h"
 #include "ir/Normalize.h"
 #include "ir/Verifier.h"
+#include "obs/Obs.h"
 #include "runtime/Runtime.h"
 #include "scalarize/Scalarize.h"
 #include "verify/Verify.h"
@@ -341,6 +342,116 @@ TEST_P(StressSweepTest, RuntimeEngineAgrees) {
             << ")";
     }
   }
+}
+
+// Observability must never perturb results: a subset of the sweep's
+// seeds runs every executor mode once at ObsLevel::Off and once at
+// ObsLevel::Trace, and the outputs must be bit-identical. Tracing adds
+// clock reads and buffer appends around the kernels, so a divergence
+// here means instrumentation leaked into evaluation order or storage.
+TEST_P(StressSweepTest, TracedRunsAreBitIdentical) {
+  uint64_t Seed = GetParam();
+  if (Seed % 5 != 0)
+    GTEST_SKIP() << "traced-identity subset runs every fifth seed";
+
+  GeneratorConfig Cfg = sweepConfig(Seed);
+  auto P = generateRandomProgram(Cfg);
+  verify::VerifyReport Collected;
+  driver::Pipeline PL(*P, fullVerifyOptions(Collected, 4));
+  ASSERT_TRUE(isWellFormed(PL.program())) << P->str();
+  auto LP = PL.scalarize(Strategy::C2F3);
+  uint64_t RunSeed = Seed ^ 0xfeed;
+
+  auto RunMode = [&](ExecMode Mode) {
+    return PL.run(LP, Mode, RunSeed);
+  };
+
+  std::vector<ExecMode> Modes = {ExecMode::Sequential, ExecMode::Parallel};
+  // JIT on a thinner subset so a cold cache compiles a bounded number of
+  // kernels ($ALF_JIT_CACHE_DIR keeps CI reruns warm).
+  if (Seed % 10 == 0 && JitEngine::compilerAvailable())
+    Modes.push_back(ExecMode::NativeJit);
+
+  for (ExecMode Mode : Modes) {
+    RunResult Untraced, Traced;
+    {
+      obs::ScopedLevel Off(obs::ObsLevel::Off);
+      Untraced = RunMode(Mode);
+    }
+    size_t EventsBefore = obs::numTraceEvents();
+    {
+      obs::ScopedLevel Trace(obs::ObsLevel::Trace);
+      Traced = RunMode(Mode);
+    }
+    EXPECT_GT(obs::numTraceEvents(), EventsBefore)
+        << "traced run recorded no events (" << getExecModeName(Mode)
+        << ")";
+    std::string Why;
+    ASSERT_TRUE(resultsMatch(Untraced, Traced, 0.0, &Why))
+        << getExecModeName(Mode)
+        << " results changed under tracing: " << Why << "\n"
+        << P->str();
+  }
+
+  // The runtime engine: replay the program once untraced, once traced,
+  // and diff every handle's materialized values bit-exactly.
+  {
+    Cfg.AddOpaque = false;
+    auto RP = generateRandomProgram(Cfg);
+    normalizeProgram(*RP);
+    auto Base = scalarize::scalarizeWithStrategy(ASDG::build(*RP),
+                                                 Strategy::Baseline);
+    Storage Init = allocateStorage(Base, RunSeed);
+    std::map<std::string, const ArrayBuffer *> InitBuf;
+    for (const ArraySymbol *A : Base.source().arrays())
+      if (const ArrayBuffer *Buf = Init.buffer(A))
+        InitBuf.emplace(A->getName(), Buf);
+    auto Pristine = generateRandomProgram(Cfg);
+
+    auto Replay = [&](obs::ObsLevel L) {
+      obs::ScopedLevel Scoped(L);
+      runtime::EngineOptions O;
+      O.Verify = verify::VerifyLevel::Full;
+      runtime::Engine E(O);
+      std::map<std::string, runtime::Array> H;
+      for (const ArraySymbol *A : Pristine->arrays()) {
+        auto It = InitBuf.find(A->getName());
+        if (It == InitBuf.end())
+          continue;
+        runtime::Array RA = E.input(A->getName(), It->second->bounds());
+        if (A->isLiveIn())
+          RA.setAll(It->second->raw());
+        H.emplace(A->getName(), std::move(RA));
+      }
+      for (const Stmt *S : Pristine->stmts()) {
+        const auto *NS = dyn_cast<NormalizedStmt>(S);
+        EXPECT_NE(NS, nullptr);
+        E.update(H.at(NS->getLHS()->getName()), NS->getLHSOffset(),
+                 *NS->getRegion(), toRuntimeEx(NS->getRHS(), H));
+      }
+      E.flush();
+      std::map<std::string, std::vector<double>> Values;
+      for (auto &[Name, A] : H)
+        Values.emplace(Name, A.values());
+      return Values;
+    };
+
+    auto Untraced = Replay(obs::ObsLevel::Off);
+    auto Traced = Replay(obs::ObsLevel::Trace);
+    ASSERT_EQ(Untraced.size(), Traced.size());
+    for (const auto &[Name, Expect] : Untraced) {
+      const std::vector<double> &Got = Traced.at(Name);
+      ASSERT_EQ(Got.size(), Expect.size()) << Name;
+      for (size_t I = 0; I < Got.size(); ++I)
+        ASSERT_EQ(Got[I], Expect[I])
+            << Name << "[" << I
+            << "] diverged between traced and untraced runtime replays\n"
+            << Pristine->str();
+    }
+  }
+
+  EXPECT_TRUE(Collected.ok())
+      << "verification findings:\n" << Collected.str() << P->str();
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, StressSweepTest,

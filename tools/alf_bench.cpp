@@ -1,0 +1,655 @@
+//===- tools/alf_bench.cpp - Deterministic perf-regression harness -----------===//
+//
+// Runs a pinned suite of end-to-end pipeline configurations — the
+// paper's six benchmarks compiled and executed under C2F3, a fig8-style
+// problem-size sweep, the parallel executor, native-JIT cold-compile vs
+// warm-dispatch, the runtime engine's steady state, and an
+// observability-overhead pair — and writes one BENCH_5.json with
+// per-benchmark medians plus the aggregated obs metrics table.
+//
+// Usage: alf_bench [--out=BENCH_5.json] [--compare=baseline.json]
+//                  [--tolerance=2.0] [--repeat=5] [--reduced]
+//                  [--filter=substr] [--trace=out.json] [--list]
+//                  [--selftest]
+//
+// The suite, its names and its seeds are pinned: two runs of the same
+// binary execute exactly the same work, so medians are comparable run
+// to run and file to file. `--compare` reloads a previous BENCH_5.json
+// and exits 1 when any shared benchmark's median regressed by more than
+// the tolerance ratio (generous by default: wall time on shared CI is
+// noisy). Checksums are cross-checked with a relative tolerance and
+// reported — but never fail the run, since baselines may come from a
+// different libm.
+//
+// `--selftest` re-parses the file just written and validates the pinned
+// schema; CI runs it so the schema stays load-bearing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchprogs/Benchmarks.h"
+#include "driver/Pipeline.h"
+#include "exec/Interpreter.h"
+#include "exec/NativeJit.h"
+#include "exec/ParallelExecutor.h"
+#include "ir/Region.h"
+#include "obs/Obs.h"
+#include "runtime/Runtime.h"
+#include "support/Json.h"
+#include "support/StringUtil.h"
+#include "xform/Strategy.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+using namespace alf;
+using namespace alf::benchprogs;
+using namespace alf::exec;
+using namespace alf::xform;
+
+namespace {
+
+constexpr uint64_t BenchSeed = 0xa1fbe7c5;
+
+uint64_t nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+double checksum(const RunResult &R) {
+  double Sum = 0.0;
+  for (const auto &[Name, V] : R.ScalarsOut)
+    Sum += V;
+  for (const auto &[Name, Vs] : R.LiveOut)
+    for (double V : Vs)
+      Sum += V;
+  return Sum;
+}
+
+/// One measured configuration. Run does its own (untimed) setup, then
+/// produces Repeats wall-time samples of the measured region and the
+/// workload's checksum; it reports a skip (e.g. no C compiler) through
+/// the result instead of failing the suite.
+struct CaseResult {
+  std::vector<uint64_t> Ns;
+  double Checksum = 0.0;
+  bool Skipped = false;
+  std::string SkipReason;
+};
+
+struct Case {
+  std::string Name;
+  std::function<CaseResult(unsigned Repeats)> Run;
+};
+
+driver::PipelineOptions benchPipelineOptions() {
+  driver::PipelineOptions PO;
+  // Benchmarks measure the pipeline itself, not the prover.
+  PO.Verify = verify::VerifyLevel::Off;
+  return PO;
+}
+
+std::string lowerName(std::string S) {
+  for (char &C : S)
+    C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  return S;
+}
+
+/// Compile (untimed) then time sequential execution of one paper
+/// benchmark under the given strategy.
+Case execCase(const BenchmarkInfo &B, int64_t N, Strategy S, ExecMode Mode,
+              std::string NameSuffix) {
+  std::string Name = "exec." + lowerName(B.Name) + "." +
+                     getStrategyName(S) + "." + std::move(NameSuffix);
+  return {Name, [&B, N, S, Mode](unsigned Repeats) {
+            auto P = B.Build(N);
+            driver::Pipeline PL(*P, benchPipelineOptions());
+            lir::LoopProgram LP = PL.scalarize(S);
+            CaseResult R;
+            for (unsigned I = 0; I < Repeats; ++I) {
+              uint64_t T0 = nowNs();
+              RunResult Res = PL.run(LP, Mode, BenchSeed);
+              R.Ns.push_back(nowNs() - T0);
+              R.Checksum = checksum(Res);
+            }
+            return R;
+          }};
+}
+
+/// Time the compile half (normalize -> ASDG -> strategy -> scalarize);
+/// each repeat rebuilds the program so no analysis is amortized.
+Case compileCase(const BenchmarkInfo &B, int64_t N, Strategy S,
+                 verify::VerifyLevel V) {
+  std::string Name = "compile." + lowerName(B.Name) + "." +
+                     getStrategyName(S);
+  if (V >= verify::VerifyLevel::Full)
+    Name += ".verified";
+  return {Name, [&B, N, S, V](unsigned Repeats) {
+            CaseResult R;
+            for (unsigned I = 0; I < Repeats; ++I) {
+              auto P = B.Build(N);
+              driver::PipelineOptions PO = benchPipelineOptions();
+              PO.Verify = V;
+              uint64_t T0 = nowNs();
+              driver::Pipeline PL(*P, PO);
+              driver::CompiledProgram CP = PL.compile(S);
+              R.Ns.push_back(nowNs() - T0);
+              R.Checksum = static_cast<double>(CP.NumClusters);
+            }
+            return R;
+          }};
+}
+
+/// Native JIT, cold: every repeat gets a fresh cache directory and a
+/// fresh engine, so each sample pays emission + compiler + dlopen.
+Case jitColdCase(const BenchmarkInfo &B, int64_t N) {
+  std::string Name = "jit." + lowerName(B.Name) + ".cold";
+  return {Name, [&B, N](unsigned Repeats) {
+            CaseResult R;
+            if (!JitEngine::compilerAvailable()) {
+              R.Skipped = true;
+              R.SkipReason = "no system C compiler";
+              return R;
+            }
+            auto P = B.Build(N);
+            driver::Pipeline PL(*P, benchPipelineOptions());
+            lir::LoopProgram LP = PL.scalarize(Strategy::C2F3);
+            for (unsigned I = 0; I < Repeats; ++I) {
+              std::string Dir = formatString(
+                  "/tmp/alf_bench_cold_%d_%u", getpid(), I);
+              JitOptions JO;
+              JO.CacheDir = Dir;
+              JitEngine Jit(JO);
+              JitRunInfo Info;
+              uint64_t T0 = nowNs();
+              RunResult Res = Jit.run(LP, BenchSeed, &Info);
+              R.Ns.push_back(nowNs() - T0);
+              R.Checksum = checksum(Res);
+              std::error_code EC;
+              std::filesystem::remove_all(Dir, EC);
+              if (!Info.UsedJit) {
+                R.Skipped = true;
+                R.SkipReason = "jit fell back: " + Info.FallbackReason;
+                return R;
+              }
+            }
+            return R;
+          }};
+}
+
+/// Native JIT, warm: one shared engine, primed untimed; every sample is
+/// a pure cache-hit dispatch.
+Case jitWarmCase(const BenchmarkInfo &B, int64_t N) {
+  std::string Name = "jit." + lowerName(B.Name) + ".warm";
+  return {Name, [&B, N](unsigned Repeats) {
+            CaseResult R;
+            if (!JitEngine::compilerAvailable()) {
+              R.Skipped = true;
+              R.SkipReason = "no system C compiler";
+              return R;
+            }
+            auto P = B.Build(N);
+            driver::Pipeline PL(*P, benchPipelineOptions());
+            lir::LoopProgram LP = PL.scalarize(Strategy::C2F3);
+            std::string Dir = formatString("/tmp/alf_bench_warm_%d",
+                                           getpid());
+            JitOptions JO;
+            JO.CacheDir = Dir;
+            JitEngine Jit(JO);
+            JitRunInfo Prime;
+            Jit.run(LP, BenchSeed, &Prime); // compile once, untimed
+            if (!Prime.UsedJit) {
+              R.Skipped = true;
+              R.SkipReason = "jit fell back: " + Prime.FallbackReason;
+            } else {
+              for (unsigned I = 0; I < Repeats; ++I) {
+                uint64_t T0 = nowNs();
+                RunResult Res = Jit.run(LP, BenchSeed);
+                R.Ns.push_back(nowNs() - T0);
+                R.Checksum = checksum(Res);
+              }
+            }
+            std::error_code EC;
+            std::filesystem::remove_all(Dir, EC);
+            return R;
+          }};
+}
+
+/// Runtime engine in steady state: a Jacobi relaxation loop whose trace
+/// repeats structurally, so after the first (untimed) iteration every
+/// flush is a structural-cache hit. Each sample is Steps iterations.
+Case runtimeWarmCase(int64_t Extent, unsigned Steps) {
+  return {"runtime.jacobi.warm", [Extent, Steps](unsigned Repeats) {
+            using namespace alf::runtime;
+            ir::Region R = ir::Region::fromExtents({Extent, Extent});
+            EngineOptions EO;
+            EO.Strat = Strategy::C2F3;
+            EO.Verify = verify::VerifyLevel::Off;
+            Engine E(EO);
+            Array U = E.input("U", R);
+            std::vector<double> Init(R.size());
+            for (size_t I = 0; I < Init.size(); ++I)
+              Init[I] = 1e-3 * static_cast<double>(I % 17);
+            U.setAll(Init);
+
+            auto Step = [&](Array &Cur) {
+              Ex Stencil = (shift(Cur, ir::Offset({-1, 0})) +
+                            shift(Cur, ir::Offset({1, 0})) +
+                            shift(Cur, ir::Offset({0, -1})) +
+                            shift(Cur, ir::Offset({0, 1}))) *
+                           0.25;
+              Array Next = E.compute(R, Cur + (Stencil - Cur) * 0.8);
+              E.flush();
+              return Next;
+            };
+
+            U = Step(U); // prime the structural cache, untimed
+
+            CaseResult Res;
+            for (unsigned I = 0; I < Repeats; ++I) {
+              uint64_t T0 = nowNs();
+              for (unsigned K = 0; K < Steps; ++K)
+                U = Step(U);
+              Res.Ns.push_back(nowNs() - T0);
+            }
+            Res.Checksum = U.get({Extent / 2, Extent / 2});
+            return Res;
+          }};
+}
+
+/// The observability-overhead pair: the same workload under a forced
+/// level. Comparing obs.off vs obs.trace medians is the acceptance
+/// check that Off costs nothing measurable.
+Case obsLevelCase(const BenchmarkInfo &B, int64_t N, obs::ObsLevel L) {
+  std::string Name = std::string("obs.") + obs::getObsLevelName(L) + "." +
+                     lowerName(B.Name);
+  return {Name, [&B, N, L](unsigned Repeats) {
+            auto P = B.Build(N);
+            driver::Pipeline PL(*P, benchPipelineOptions());
+            lir::LoopProgram LP = PL.scalarize(Strategy::C2F3);
+            CaseResult R;
+            obs::ScopedLevel Scoped(L);
+            for (unsigned I = 0; I < Repeats; ++I) {
+              uint64_t T0 = nowNs();
+              RunResult Res = run(LP, BenchSeed);
+              R.Ns.push_back(nowNs() - T0);
+              R.Checksum = checksum(Res);
+            }
+            return R;
+          }};
+}
+
+/// The pinned suite. Order and names are part of the BENCH_5.json
+/// contract: append new cases at the end, never rename existing ones.
+std::vector<Case> buildSuite(bool Reduced) {
+  const int64_t N = Reduced ? 8 : 16;
+  std::vector<Case> Suite;
+  for (const BenchmarkInfo &B : allBenchmarks()) {
+    Suite.push_back(execCase(B, N, Strategy::C2F3, ExecMode::Sequential,
+                             "seq"));
+    Suite.push_back(compileCase(B, N, Strategy::C2F3,
+                                verify::VerifyLevel::Off));
+  }
+  const BenchmarkInfo &Tomcatv = allBenchmarks()[3];
+  const BenchmarkInfo &SP = allBenchmarks()[2];
+
+  // fig8-style problem-size scaling (execution only; one benchmark).
+  for (int64_t Size : Reduced ? std::vector<int64_t>{6, 10}
+                              : std::vector<int64_t>{8, 16, 24})
+    Suite.push_back(execCase(Tomcatv, Size, Strategy::C2F3,
+                             ExecMode::Sequential,
+                             formatString("n%lld", (long long)Size)));
+
+  // Baseline (unfused) vs contracted execution of the same program.
+  Suite.push_back(execCase(Tomcatv, N, Strategy::Baseline,
+                           ExecMode::Sequential, "seq"));
+
+  // Parallel executor.
+  Suite.push_back(execCase(Tomcatv, N, Strategy::C2F3, ExecMode::Parallel,
+                           "par"));
+
+  // A verified compile, so the pipeline.verify span shows up in the
+  // metrics table.
+  Suite.push_back(compileCase(SP, N, Strategy::C2F3,
+                              verify::VerifyLevel::Full));
+
+  // JIT compile-vs-dispatch split.
+  Suite.push_back(jitColdCase(Tomcatv, N));
+  Suite.push_back(jitWarmCase(Tomcatv, N));
+
+  // Runtime engine steady state.
+  Suite.push_back(runtimeWarmCase(Reduced ? 16 : 32, Reduced ? 4 : 10));
+
+  // Observability overhead pair.
+  Suite.push_back(obsLevelCase(Tomcatv, N, obs::ObsLevel::Off));
+  Suite.push_back(obsLevelCase(Tomcatv, N, obs::ObsLevel::Trace));
+  return Suite;
+}
+
+uint64_t median(std::vector<uint64_t> V) {
+  if (V.empty())
+    return 0;
+  std::sort(V.begin(), V.end());
+  return V[V.size() / 2];
+}
+
+uint64_t minOf(const std::vector<uint64_t> &V) {
+  return V.empty() ? 0 : *std::min_element(V.begin(), V.end());
+}
+
+uint64_t meanOf(const std::vector<uint64_t> &V) {
+  if (V.empty())
+    return 0;
+  uint64_t Sum = 0;
+  for (uint64_t X : V)
+    Sum += X;
+  return Sum / V.size();
+}
+
+//===----------------------------------------------------------------------===//
+// BENCH_5.json schema
+//===----------------------------------------------------------------------===//
+
+json::Value resultsToJson(const std::vector<Case> &Suite,
+                          const std::vector<CaseResult> &Results,
+                          bool Reduced, unsigned Repeats) {
+  json::Value Root = json::Value::object();
+  Root.set("schema", json::Value::str("alf-bench/1"));
+  Root.set("suite", json::Value::str(Reduced ? "reduced" : "full"));
+  Root.set("repeat", json::Value::number(Repeats));
+
+  json::Value Benchmarks = json::Value::array();
+  for (size_t I = 0; I < Suite.size(); ++I) {
+    const CaseResult &R = Results[I];
+    json::Value B = json::Value::object();
+    B.set("name", json::Value::str(Suite[I].Name));
+    B.set("repeats",
+          json::Value::number(static_cast<double>(R.Ns.size())));
+    B.set("median_ns",
+          json::Value::number(static_cast<double>(median(R.Ns))));
+    B.set("min_ns", json::Value::number(static_cast<double>(minOf(R.Ns))));
+    B.set("mean_ns",
+          json::Value::number(static_cast<double>(meanOf(R.Ns))));
+    B.set("checksum", json::Value::number(R.Checksum));
+    B.set("skipped", json::Value::boolean(R.Skipped));
+    if (R.Skipped)
+      B.set("skip_reason", json::Value::str(R.SkipReason));
+    Benchmarks.push(std::move(B));
+  }
+  Root.set("benchmarks", std::move(Benchmarks));
+
+  json::Value Metrics = json::Value::array();
+  for (const obs::MetricRow &Row : obs::metricsTable()) {
+    json::Value M = json::Value::object();
+    M.set("name", json::Value::str(Row.Name));
+    M.set("count", json::Value::number(static_cast<double>(Row.Count)));
+    M.set("total_ns",
+          json::Value::number(static_cast<double>(Row.TotalNs)));
+    M.set("p50_ns", json::Value::number(static_cast<double>(Row.P50Ns)));
+    M.set("p95_ns", json::Value::number(static_cast<double>(Row.P95Ns)));
+    M.set("bytes", json::Value::number(static_cast<double>(Row.Bytes)));
+    Metrics.push(std::move(M));
+  }
+  Root.set("metrics", std::move(Metrics));
+  return Root;
+}
+
+/// Validates the pinned BENCH_5.json schema; the contract alf_bench
+/// --selftest and the CI compare step rely on.
+bool validateBenchJson(const json::Value &Root, std::string &Why) {
+  auto Fail = [&Why](const std::string &Msg) {
+    Why = Msg;
+    return false;
+  };
+  if (!Root.isObject())
+    return Fail("root is not an object");
+  if (Root.getString("schema").value_or("") != "alf-bench/1")
+    return Fail("schema key missing or not alf-bench/1");
+  std::string Suite = Root.getString("suite").value_or("");
+  if (Suite != "full" && Suite != "reduced")
+    return Fail("suite must be 'full' or 'reduced'");
+  if (!Root.getNumber("repeat"))
+    return Fail("repeat missing");
+  const json::Value *Benchmarks = Root.get("benchmarks");
+  if (!Benchmarks || !Benchmarks->isArray() || Benchmarks->size() == 0)
+    return Fail("benchmarks missing or empty");
+  for (const json::Value &B : Benchmarks->items()) {
+    if (!B.getString("name"))
+      return Fail("benchmark entry without name");
+    for (const char *Key :
+         {"repeats", "median_ns", "min_ns", "mean_ns", "checksum"})
+      if (!B.getNumber(Key))
+        return Fail("benchmark '" + *B.getString("name") + "' missing " +
+                    Key);
+    if (!B.getBool("skipped"))
+      return Fail("benchmark '" + *B.getString("name") +
+                  "' missing skipped");
+  }
+  const json::Value *Metrics = Root.get("metrics");
+  if (!Metrics || !Metrics->isArray())
+    return Fail("metrics missing");
+  for (const json::Value &M : Metrics->items()) {
+    if (!M.getString("name"))
+      return Fail("metric row without name");
+    for (const char *Key :
+         {"count", "total_ns", "p50_ns", "p95_ns", "bytes"})
+      if (!M.getNumber(Key))
+        return Fail("metric '" + *M.getString("name") + "' missing " + Key);
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// --compare
+//===----------------------------------------------------------------------===//
+
+struct BaselineRow {
+  double MedianNs = 0;
+  double Checksum = 0;
+  bool Skipped = false;
+};
+
+int compareAgainst(const json::Value &Current, const std::string &Path,
+                   double Tolerance) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::cerr << "alf_bench: cannot open baseline " << Path << '\n';
+    return 1;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  std::string Error;
+  std::optional<json::Value> Base = json::parse(Buf.str(), &Error);
+  if (!Base) {
+    std::cerr << "alf_bench: malformed baseline " << Path << ": " << Error
+              << '\n';
+    return 1;
+  }
+  std::string Why;
+  if (!validateBenchJson(*Base, Why)) {
+    std::cerr << "alf_bench: baseline " << Path
+              << " fails schema validation: " << Why << '\n';
+    return 1;
+  }
+
+  std::map<std::string, BaselineRow> Rows;
+  for (const json::Value &B : Base->get("benchmarks")->items()) {
+    BaselineRow Row;
+    Row.MedianNs = B.getNumber("median_ns").value_or(0);
+    Row.Checksum = B.getNumber("checksum").value_or(0);
+    Row.Skipped = B.getBool("skipped").value_or(false);
+    Rows[*B.getString("name")] = Row;
+  }
+
+  unsigned Regressions = 0, Compared = 0;
+  std::cout << formatString("%-34s %12s %12s %8s\n", "benchmark",
+                            "base_ms", "now_ms", "ratio");
+  for (const json::Value &B : Current.get("benchmarks")->items()) {
+    std::string Name = *B.getString("name");
+    auto It = Rows.find(Name);
+    if (It == Rows.end() || It->second.Skipped ||
+        B.getBool("skipped").value_or(false))
+      continue;
+    double Now = B.getNumber("median_ns").value_or(0);
+    double Before = It->second.MedianNs;
+    if (Before <= 0)
+      continue;
+    double Ratio = Now / Before;
+    ++Compared;
+    bool Regressed = Ratio > Tolerance;
+    Regressions += Regressed;
+    std::cout << formatString("%-34s %12.3f %12.3f %7.2fx%s\n",
+                              Name.c_str(), Before / 1e6, Now / 1e6, Ratio,
+                              Regressed ? "  REGRESSED" : "");
+    double CS = B.getNumber("checksum").value_or(0);
+    double BaseCS = It->second.Checksum;
+    if (std::fabs(CS - BaseCS) > 1e-9 * (std::fabs(BaseCS) + 1.0))
+      std::cout << formatString(
+          "  note: %s checksum drifted (%.17g vs baseline %.17g)\n",
+          Name.c_str(), CS, BaseCS);
+  }
+  std::cout << formatString(
+      "compared %u benchmarks against %s (tolerance %.2fx): %u regressed\n",
+      Compared, Path.c_str(), Tolerance, Regressions);
+  return Regressions ? 1 : 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string OutFile = "BENCH_5.json";
+  std::string CompareFile;
+  std::string TraceFile;
+  std::string Filter;
+  double Tolerance = 2.0;
+  unsigned Repeats = 5;
+  bool Reduced = false, List = false, SelfTest = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--out=", 0) == 0)
+      OutFile = Arg.substr(6);
+    else if (Arg.rfind("--compare=", 0) == 0)
+      CompareFile = Arg.substr(10);
+    else if (Arg.rfind("--tolerance=", 0) == 0)
+      Tolerance = std::atof(Arg.c_str() + 12);
+    else if (Arg.rfind("--repeat=", 0) == 0)
+      Repeats = static_cast<unsigned>(std::atoi(Arg.c_str() + 9));
+    else if (Arg.rfind("--filter=", 0) == 0)
+      Filter = Arg.substr(9);
+    else if (Arg.rfind("--trace=", 0) == 0)
+      TraceFile = Arg.substr(8);
+    else if (Arg == "--reduced")
+      Reduced = true;
+    else if (Arg == "--list")
+      List = true;
+    else if (Arg == "--selftest")
+      SelfTest = true;
+    else {
+      std::cerr << "usage: alf_bench [--out=BENCH_5.json] "
+                   "[--compare=baseline.json] [--tolerance=X] "
+                   "[--repeat=N] [--reduced] [--filter=substr] "
+                   "[--trace=out.json] [--list] [--selftest]\n";
+      return 2;
+    }
+  }
+  if (Repeats == 0 || Tolerance <= 0) {
+    std::cerr << "alf_bench: --repeat and --tolerance must be positive\n";
+    return 2;
+  }
+
+  std::vector<Case> Suite = buildSuite(Reduced);
+  if (!Filter.empty()) {
+    std::vector<Case> Kept;
+    for (Case &C : Suite)
+      if (C.Name.find(Filter) != std::string::npos)
+        Kept.push_back(std::move(C));
+    Suite = std::move(Kept);
+  }
+  if (List) {
+    for (const Case &C : Suite)
+      std::cout << C.Name << '\n';
+    return 0;
+  }
+  if (Suite.empty()) {
+    std::cerr << "alf_bench: filter matched no benchmarks\n";
+    return 2;
+  }
+
+  // Metrics aggregate across the whole suite; the obs.* pair overrides
+  // the level locally through ScopedLevel.
+  obs::setLevel(TraceFile.empty() ? obs::ObsLevel::Counters
+                                  : obs::ObsLevel::Trace);
+  obs::reset();
+
+  std::vector<CaseResult> Results;
+  Results.reserve(Suite.size());
+  for (const Case &C : Suite) {
+    std::cout << C.Name << " ..." << std::flush;
+    CaseResult R = C.Run(Repeats);
+    if (R.Skipped)
+      std::cout << " SKIPPED (" << R.SkipReason << ")\n";
+    else
+      std::cout << formatString(" median %.3f ms (%zu samples)\n",
+                                static_cast<double>(median(R.Ns)) / 1e6,
+                                R.Ns.size());
+    Results.push_back(std::move(R));
+  }
+
+  json::Value Root = resultsToJson(Suite, Results, Reduced, Repeats);
+  {
+    std::ofstream Out(OutFile);
+    if (!Out) {
+      std::cerr << "alf_bench: cannot write " << OutFile << '\n';
+      return 1;
+    }
+    Root.write(Out);
+    Out << '\n';
+  }
+  std::cout << "wrote " << OutFile << '\n';
+
+  if (!TraceFile.empty()) {
+    if (!obs::writeChromeTraceFile(TraceFile)) {
+      std::cerr << "alf_bench: cannot write trace to " << TraceFile << '\n';
+      return 1;
+    }
+    std::cout << "trace: " << obs::numTraceEvents() << " events -> "
+              << TraceFile << '\n';
+  }
+
+  if (SelfTest) {
+    std::ifstream In(OutFile);
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    std::string Error, Why;
+    std::optional<json::Value> Reparsed = json::parse(Buf.str(), &Error);
+    if (!Reparsed) {
+      std::cerr << "alf_bench: selftest: emitted file does not parse: "
+                << Error << '\n';
+      return 1;
+    }
+    if (!validateBenchJson(*Reparsed, Why)) {
+      std::cerr << "alf_bench: selftest: schema violation: " << Why << '\n';
+      return 1;
+    }
+    std::cout << "selftest: schema OK\n";
+  }
+
+  if (!CompareFile.empty())
+    return compareAgainst(Root, CompareFile, Tolerance);
+  return 0;
+}

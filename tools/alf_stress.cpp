@@ -11,6 +11,12 @@
 // Usage: alf_stress [--count=N] [--seed=S] [--procs=P] [--threads=T]
 //                   [--emit-c] [--exec=sequential|parallel|jit]
 //                   [--verify=off|structural|full]
+//                   [--trace=out.json] [--metrics]
+//
+// --trace=FILE records every pipeline phase and kernel launch of the
+// sweep and writes a Chrome trace_event file on exit (load it at
+// chrome://tracing); --metrics prints the aggregated per-span table
+// instead of (or in addition to) the full trace.
 //
 // --exec=jit additionally runs every strategy through the native JIT
 // backend (one shared engine, so the kernel cache is exercised) and
@@ -35,6 +41,7 @@
 #include "exec/ParallelExecutor.h"
 #include "ir/Generator.h"
 #include "ir/Verifier.h"
+#include "obs/Obs.h"
 #include "scalarize/CEmitter.h"
 #include "scalarize/Scalarize.h"
 #include "support/Statistic.h"
@@ -123,6 +130,8 @@ int main(int argc, char **argv) {
   unsigned Procs = 4;
   unsigned Threads = 4;
   bool EmitC = false;
+  bool Metrics = false;
+  std::string TraceFile;
   ExecMode Mode = ExecMode::Sequential;
   verify::VerifyLevel VerifyLevel = verify::VerifyLevel::Full;
   for (int I = 1; I < argc; ++I) {
@@ -152,14 +161,24 @@ int main(int argc, char **argv) {
         return 2;
       }
       VerifyLevel = *L;
+    } else if (Arg.rfind("--trace=", 0) == 0) {
+      TraceFile = Arg.substr(8);
+    } else if (Arg == "--metrics") {
+      Metrics = true;
     } else {
       std::cerr << "usage: alf_stress [--count=N] [--seed=S] [--procs=P] "
                    "[--threads=T] [--emit-c] "
                    "[--exec=sequential|parallel|jit] "
-                   "[--verify=off|structural|full]\n";
+                   "[--verify=off|structural|full] "
+                   "[--trace=out.json] [--metrics]\n";
       return 2;
     }
   }
+
+  if (!TraceFile.empty())
+    obs::setLevel(obs::ObsLevel::Trace);
+  else if (Metrics && obs::level() == obs::ObsLevel::Off)
+    obs::setLevel(obs::ObsLevel::Counters);
 
   bool HaveCC = EmitC && std::system("cc --version > /dev/null 2>&1") == 0;
   if (EmitC && !HaveCC)
@@ -331,5 +350,15 @@ int main(int argc, char **argv) {
               << " memory hits, "
               << getStatisticValue("jit", "NumJitCacheDiskHits")
               << " disk hits; cache: " << Jit->cacheDir() << ")\n";
+  if (Metrics)
+    obs::writeMetricsTable(std::cout);
+  if (!TraceFile.empty()) {
+    if (!obs::writeChromeTraceFile(TraceFile)) {
+      std::cerr << "cannot write trace to " << TraceFile << '\n';
+      return 1;
+    }
+    std::cout << "trace: " << obs::numTraceEvents() << " events -> "
+              << TraceFile << '\n';
+  }
   return 0;
 }
