@@ -5,7 +5,7 @@
 // the scalarized loop nests. With no file argument it compiles a built-in
 // Jacobi demo.
 //
-// Usage:  ./zplc [file.zpl] [--strategy=c2|baseline|c1|f1|f2|f3|c2+f3|c2+f4]
+// Usage:  ./zplc [file.zpl] [--strategy=c2|baseline|c1|f1|f2|f3|c2+f3|c2+f4|ilp]
 //                [--dump-asdg] [--dump-source] [--emit-c] [--emit-f77]
 //                [--explain] [--stats] [--simulate] [--lint]
 //                [--exec=sequential|parallel|jit] [--seed=S]
@@ -71,13 +71,6 @@ scalar maxres;
 [R] maxres := max << abs(Res);
 )";
 
-std::optional<xform::Strategy> strategyNamed(const std::string &Name) {
-  for (xform::Strategy S : xform::allStrategies())
-    if (Name == xform::getStrategyName(S))
-      return S;
-  return std::nullopt;
-}
-
 } // namespace
 
 int main(int argc, char **argv) {
@@ -95,7 +88,7 @@ int main(int argc, char **argv) {
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg.rfind("--strategy=", 0) == 0) {
-      auto S = strategyNamed(Arg.substr(11));
+      auto S = xform::strategyNamed(Arg.substr(11));
       if (!S) {
         std::cerr << "zplc: unknown strategy '" << Arg.substr(11) << "'\n";
         return 1;

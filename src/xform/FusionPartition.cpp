@@ -22,6 +22,23 @@ FusionPartition FusionPartition::trivial(const ASDG &Graph) {
   return P;
 }
 
+FusionPartition FusionPartition::fromAssignment(const ASDG &Graph,
+                                                std::vector<unsigned> Assignment) {
+  assert(Assignment.size() == Graph.numNodes() &&
+         "assignment must cover every statement");
+  FusionPartition P;
+  P.G = &Graph;
+  P.ClusterOf = std::move(Assignment);
+#ifndef NDEBUG
+  for (unsigned I = 0; I < P.ClusterOf.size(); ++I) {
+    assert(P.ClusterOf[I] <= I && "cluster id must be its smallest member");
+    assert(P.ClusterOf[P.ClusterOf[I]] == P.ClusterOf[I] &&
+           "cluster id must name an active cluster");
+  }
+#endif
+  return P;
+}
+
 std::vector<unsigned> FusionPartition::clusters() const {
   // A cluster's id is the smallest member statement's id, so the set of
   // active ids is exactly {i : ClusterOf[i] == i}.

@@ -41,6 +41,14 @@ public:
   /// The trivial partition: one statement per cluster (Figure 3 line 1).
   static FusionPartition trivial(const analysis::ASDG &Graph);
 
+  /// A partition from an explicit statement-to-cluster assignment. Each
+  /// entry must already satisfy the representation invariant merge()
+  /// maintains: a cluster's id is its smallest member's statement id.
+  /// The branch-and-bound partitioner (IlpStrategy) materializes its
+  /// search states through this.
+  static FusionPartition fromAssignment(const analysis::ASDG &Graph,
+                                        std::vector<unsigned> Assignment);
+
   const analysis::ASDG &graph() const { return *G; }
 
   unsigned numStmts() const { return static_cast<unsigned>(ClusterOf.size()); }

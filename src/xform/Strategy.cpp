@@ -3,6 +3,7 @@
 #include "xform/Strategy.h"
 
 #include "support/ErrorHandling.h"
+#include "xform/IlpStrategy.h"
 
 using namespace alf;
 using namespace alf::analysis;
@@ -34,8 +35,19 @@ const char *xform::getStrategyName(Strategy S) {
     return "c2+f3";
   case Strategy::C2F4:
     return "c2+f4";
+  case Strategy::IlpOptimal:
+    return "ilp";
   }
   alf_unreachable("unhandled strategy");
+}
+
+std::optional<Strategy> xform::strategyNamed(const std::string &Name) {
+  for (Strategy S : allStrategies())
+    if (Name == getStrategyName(S))
+      return S;
+  if (Name == getStrategyName(Strategy::IlpOptimal))
+    return Strategy::IlpOptimal;
+  return std::nullopt;
 }
 
 const std::vector<ExecMode> &xform::allExecModes() {
@@ -64,6 +76,11 @@ std::optional<ExecMode> xform::execModeNamed(const std::string &Name) {
 }
 
 StrategyResult xform::applyStrategy(const ASDG &G, Strategy S) {
+  // The optimal partitioner replaces the greedy loop wholesale; it
+  // contracts the same candidate set as c2 (any array).
+  if (S == Strategy::IlpOptimal)
+    return solveOptimalPartition(G);
+
   FusionPartition P = FusionPartition::trivial(G);
 
   // Which arrays drive fusion-for-contraction, and which are actually
@@ -75,6 +92,8 @@ StrategyResult xform::applyStrategy(const ASDG &G, Strategy S) {
   bool Pairwise = false;
 
   switch (S) {
+  case Strategy::IlpOptimal:
+    alf_unreachable("handled above");
   case Strategy::Baseline:
     break;
   case Strategy::F1:

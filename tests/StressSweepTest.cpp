@@ -29,6 +29,7 @@
 #include "runtime/Runtime.h"
 #include "scalarize/Scalarize.h"
 #include "verify/Verify.h"
+#include "xform/IlpStrategy.h"
 #include "xform/Strategy.h"
 
 #include <filesystem>
@@ -166,6 +167,67 @@ TEST_P(StressSweepTest, NativeJitAgrees) {
     ASSERT_TRUE(resultsMatch(BaseRes, JitRes, 0.0, &Why))
         << getStrategyName(S) << " jit diverged: " << Why << "\n"
         << P->str();
+  }
+
+  EXPECT_TRUE(Collected.ok())
+      << "verification findings:\n" << Collected.str() << P->str();
+}
+
+// The optimality property test for the branch-and-bound partitioner
+// (xform/IlpStrategy): on every seed, the ILP partition must (a) pass
+// the same VerifyLevel::Full re-proof as any other strategy (checked by
+// PL.strategy through the collecting handler), (b) produce programs
+// bit-identical to both the baseline oracle and the greedy c2 partition
+// across the interpreter, the parallel executor and (on a subset) the
+// native JIT, and (c) achieve an objective — contracted bytes — at
+// least as large as greedy FUSION-FOR-CONTRACTION's. The solver is
+// exact up to its node budget, and its incumbent is seeded with the
+// greedy solution, so (c) must hold on every seed, budget or not.
+TEST_P(StressSweepTest, IlpStrategyAgrees) {
+  uint64_t Seed = GetParam();
+  GeneratorConfig Cfg = sweepConfig(Seed);
+  auto P = generateRandomProgram(Cfg);
+  verify::VerifyReport Collected;
+  unsigned NumThreads = 1 + static_cast<unsigned>(Seed % 4); // 1..4
+  driver::Pipeline PL(*P, fullVerifyOptions(Collected, NumThreads));
+  ASSERT_TRUE(isWellFormed(PL.program())) << P->str();
+
+  uint64_t RunSeed = Seed ^ 0xfeed;
+  auto Base = PL.scalarize(Strategy::Baseline);
+  RunResult BaseRes = run(Base, RunSeed);
+
+  StrategyResult Greedy = PL.strategy(Strategy::C2);
+  StrategyResult Ilp = PL.strategy(Strategy::IlpOptimal);
+  ASSERT_TRUE(isValidPartition(Ilp.Partition)) << P->str();
+
+  // The optimality property: never a smaller objective than greedy.
+  double GreedyBytes = contractedBytes(Greedy.Partition, Greedy.Contracted);
+  double IlpBytes = contractedBytes(Ilp.Partition, Ilp.Contracted);
+  EXPECT_GE(IlpBytes, GreedyBytes)
+      << "ilp objective regressed below greedy\n" << P->str();
+
+  // Differential execution: greedy-partitioned and ILP-partitioned
+  // programs must be bit-identical to the unoptimized baseline (and so
+  // to each other) on every executor.
+  auto GreedyLP = PL.scalarize(Greedy);
+  auto IlpLP = PL.scalarize(Ilp);
+  std::string Why;
+  ASSERT_TRUE(resultsMatch(BaseRes, run(GreedyLP, RunSeed), 0.0, &Why))
+      << "greedy sequential diverged: " << Why << "\n" << P->str();
+  ASSERT_TRUE(resultsMatch(BaseRes, run(IlpLP, RunSeed), 0.0, &Why))
+      << "ilp sequential diverged: " << Why << "\n" << P->str();
+  ASSERT_TRUE(resultsMatch(BaseRes,
+                           PL.run(IlpLP, ExecMode::Parallel, RunSeed), 0.0,
+                           &Why))
+      << "ilp parallel (" << NumThreads << " threads) diverged: " << Why
+      << "\n" << P->str();
+  if (Seed % 10 == 0 && JitEngine::compilerAvailable()) {
+    JitRunInfo Info;
+    RunResult JitRes = runNativeJit(IlpLP, RunSeed, &Info);
+    ASSERT_TRUE(Info.UsedJit) << "ilp jit fell back: " << Info.FallbackReason
+                              << "\n" << P->str();
+    ASSERT_TRUE(resultsMatch(BaseRes, JitRes, 0.0, &Why))
+        << "ilp jit diverged: " << Why << "\n" << P->str();
   }
 
   EXPECT_TRUE(Collected.ok())

@@ -18,6 +18,7 @@
 #include "support/Statistic.h"
 #include "verify/Verify.h"
 #include "xform/FusionPartition.h"
+#include "xform/IlpStrategy.h"
 #include "xform/Strategy.h"
 
 #include <gtest/gtest.h>
@@ -163,6 +164,37 @@ TEST(VerifyTest, LegalityRejectsContractionOfLiveOutArray) {
   verify::VerifyReport Rep = verify::verifyStrategy(G, SR);
   ASSERT_FALSE(Rep.ok());
   EXPECT_TRUE(hasFindingFrom(Rep, "contraction-legality")) << Rep.str();
+}
+
+TEST(VerifyTest, FullVerifyRejectsCorruptedIlpSolution) {
+  // Fault injection into the branch-and-bound partitioner itself: the
+  // test hook makes solveOptimalPartition smuggle one illegal decision
+  // into an otherwise optimal solution (an illegal cluster merge if the
+  // program has one, a live-out contraction otherwise). The pipeline
+  // never trusts the solver, so the independent Definition 5/6 re-proof
+  // at VerifyLevel::Full must catch exactly this class of solver bug.
+  auto P = tp::makeFigure2();
+  normalizeProgram(*P);
+  ASDG G = ASDG::build(*P);
+
+  // Sanity: the honest solver's solution is certified.
+  StrategyResult Clean = applyStrategy(G, Strategy::IlpOptimal);
+  ASSERT_TRUE(verify::verifyStrategy(G, Clean).ok());
+
+  setIlpCorruptionForTest(true);
+  StrategyResult Bad = applyStrategy(G, Strategy::IlpOptimal);
+  setIlpCorruptionForTest(false);
+
+  verify::VerifyReport Rep = verify::verifyStrategy(G, Bad);
+  ASSERT_FALSE(Rep.ok()) << "corrupted ILP solution was certified";
+  EXPECT_TRUE(hasFindingFrom(Rep, "fusion-legality") ||
+              hasFindingFrom(Rep, "contraction-legality"))
+      << Rep.str();
+
+  // The hook is off again: fresh solves must be clean (guards against
+  // the corruption leaking into later tests through the global).
+  EXPECT_TRUE(verify::verifyStrategy(G, applyStrategy(G, Strategy::IlpOptimal))
+                  .ok());
 }
 
 TEST(VerifyTest, StrategyOverCorruptedGraphIsRejected) {

@@ -26,8 +26,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/ASDG.h"
 #include "benchprogs/Benchmarks.h"
 #include "driver/Pipeline.h"
+#include "ir/Normalize.h"
 #include "exec/Interpreter.h"
 #include "exec/NativeJit.h"
 #include "exec/ParallelExecutor.h"
@@ -36,6 +38,7 @@
 #include "runtime/Runtime.h"
 #include "support/Json.h"
 #include "support/StringUtil.h"
+#include "xform/IlpStrategy.h"
 #include "xform/Strategy.h"
 
 #include <algorithm>
@@ -293,6 +296,28 @@ Case obsLevelCase(const BenchmarkInfo &B, int64_t N, obs::ObsLevel L) {
           }};
 }
 
+/// Times just the partitioning decision (applyStrategy on a prebuilt
+/// ASDG), isolating greedy FUSION-FOR-CONTRACTION vs the exact
+/// branch-and-bound so the solver's cost is visible in BENCH_5 metrics.
+/// Checksum = contracted bytes, so a baseline comparison also catches a
+/// solver that silently changes its answer.
+Case strategyCase(const BenchmarkInfo &B, int64_t N, Strategy S,
+                  std::string Label) {
+  return {"strategy." + std::move(Label), [&B, N, S](unsigned Repeats) {
+            auto P = B.Build(N);
+            ir::normalizeProgram(*P);
+            analysis::ASDG G = analysis::ASDG::build(*P);
+            CaseResult R;
+            for (unsigned I = 0; I < Repeats; ++I) {
+              uint64_t T0 = nowNs();
+              StrategyResult SR = applyStrategy(G, S);
+              R.Ns.push_back(nowNs() - T0);
+              R.Checksum = contractedBytes(SR.Partition, SR.Contracted);
+            }
+            return R;
+          }};
+}
+
 /// The pinned suite. Order and names are part of the BENCH_5.json
 /// contract: append new cases at the end, never rename existing ones.
 std::vector<Case> buildSuite(bool Reduced) {
@@ -337,6 +362,11 @@ std::vector<Case> buildSuite(bool Reduced) {
   // Observability overhead pair.
   Suite.push_back(obsLevelCase(Tomcatv, N, obs::ObsLevel::Off));
   Suite.push_back(obsLevelCase(Tomcatv, N, obs::ObsLevel::Trace));
+
+  // Greedy vs exact branch-and-bound partitioning on the same ASDG: the
+  // price of optimality in the compile pipeline.
+  Suite.push_back(strategyCase(Tomcatv, N, Strategy::C2, "greedy"));
+  Suite.push_back(strategyCase(Tomcatv, N, Strategy::IlpOptimal, "ilp"));
   return Suite;
 }
 

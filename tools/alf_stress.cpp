@@ -10,8 +10,15 @@
 //
 // Usage: alf_stress [--count=N] [--seed=S] [--procs=P] [--threads=T]
 //                   [--emit-c] [--exec=sequential|parallel|jit]
-//                   [--verify=off|structural|full]
+//                   [--strategy=NAME] [--verify=off|structural|full]
 //                   [--trace=out.json] [--metrics]
+//
+// --strategy=NAME restricts the per-program strategy loop to one named
+// strategy (any paper strategy, or "ilp" for the branch-and-bound
+// optimal partitioner); the divergence checks against the baseline
+// oracle are unchanged. With ilp the run doubles as the optimality
+// sweep: the solver's partition is additionally required to achieve an
+// objective no worse than greedy FUSION-FOR-CONTRACTION's.
 //
 // --trace=FILE records every pipeline phase and kernel launch of the
 // sweep and writes a Chrome trace_event file on exit (load it at
@@ -47,6 +54,7 @@
 #include "support/Statistic.h"
 #include "support/StringUtil.h"
 #include "verify/Verify.h"
+#include "xform/IlpStrategy.h"
 #include "xform/Strategy.h"
 
 #include <memory>
@@ -76,6 +84,8 @@ struct Stats {
   unsigned DistRuns = 0;
   unsigned CCompiles = 0;
   unsigned JitRuns = 0;
+  unsigned IlpRuns = 0;
+  unsigned IlpImprovements = 0;
 };
 
 /// Fails loudly with the program text for reproduction.
@@ -133,6 +143,7 @@ int main(int argc, char **argv) {
   bool Metrics = false;
   std::string TraceFile;
   ExecMode Mode = ExecMode::Sequential;
+  std::optional<Strategy> OnlyStrategy;
   verify::VerifyLevel VerifyLevel = verify::VerifyLevel::Full;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -153,6 +164,12 @@ int main(int argc, char **argv) {
         return 2;
       }
       Mode = *M;
+    } else if (Arg.rfind("--strategy=", 0) == 0) {
+      OnlyStrategy = strategyNamed(Arg.substr(11));
+      if (!OnlyStrategy) {
+        std::cerr << "unknown strategy '" << Arg.substr(11) << "'\n";
+        return 2;
+      }
     } else if (Arg.rfind("--verify=", 0) == 0) {
       std::optional<verify::VerifyLevel> L =
           verify::verifyLevelNamed(Arg.substr(9));
@@ -168,7 +185,7 @@ int main(int argc, char **argv) {
     } else {
       std::cerr << "usage: alf_stress [--count=N] [--seed=S] [--procs=P] "
                    "[--threads=T] [--emit-c] "
-                   "[--exec=sequential|parallel|jit] "
+                   "[--exec=sequential|parallel|jit] [--strategy=NAME] "
                    "[--verify=off|structural|full] "
                    "[--trace=out.json] [--metrics]\n";
       return 2;
@@ -225,12 +242,30 @@ int main(int argc, char **argv) {
     auto Base = PL.scalarize(Strategy::Baseline);
     RunResult BaseRes = run(Base, ProgSeed ^ 0xfeed);
 
-    for (Strategy Strat : allStrategies()) {
+    std::vector<Strategy> Strategies = allStrategies();
+    if (OnlyStrategy)
+      Strategies = {*OnlyStrategy};
+    for (Strategy Strat : Strategies) {
       StrategyResult SR = PL.strategy(Strat);
       if (!isValidPartition(SR.Partition))
         fail(*P, formatString("invalid partition under %s",
                               getStrategyName(Strat)));
       S.Contractions += static_cast<unsigned>(SR.Contracted.size());
+
+      // The optimal partitioner's contract: never a worse objective than
+      // greedy FUSION-FOR-CONTRACTION on the same graph.
+      if (Strat == Strategy::IlpOptimal) {
+        StrategyResult Greedy = applyStrategy(G, Strategy::C2);
+        double GreedyBytes =
+            contractedBytes(Greedy.Partition, Greedy.Contracted);
+        double IlpBytes = contractedBytes(SR.Partition, SR.Contracted);
+        if (IlpBytes < GreedyBytes)
+          fail(*P, formatString("ilp objective %.0f below greedy %.0f",
+                                IlpBytes, GreedyBytes));
+        ++S.IlpRuns;
+        if (IlpBytes > GreedyBytes)
+          ++S.IlpImprovements;
+      }
       auto LP = PL.scalarize(SR);
       std::string Why;
       if (!resultsMatch(BaseRes, run(LP, ProgSeed ^ 0xfeed), 0.0, &Why))
@@ -343,6 +378,13 @@ int main(int argc, char **argv) {
               << " oracle labels, "
               << getStatisticValue("verify", "NumNestsCertifiedParallel")
               << " nests certified parallel\n";
+  if (S.IlpRuns > 0)
+    std::cout << "  ilp runs:        " << S.IlpRuns << " ("
+              << S.IlpImprovements << " beat greedy; "
+              << getStatisticValue("strategy", "NumIlpNodes") << " nodes, "
+              << getStatisticValue("strategy", "NumIlpPruned") << " pruned, "
+              << getStatisticValue("strategy", "NumIlpBudgetExhausted")
+              << " budget-exhausted)\n";
   if (Jit)
     std::cout << "  jit runs:        " << S.JitRuns << " ("
               << getStatisticValue("jit", "NumJitCompiles") << " compiles, "
