@@ -31,7 +31,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "ToolOptions.h"
+
 #include "analysis/ASDG.h"
+#include "driver/Pipeline.h"
 #include "exec/ParallelExecutor.h"
 #include "exec/PerfModel.h"
 #include "frontend/Parser.h"
@@ -76,25 +79,22 @@ scalar maxres;
 int main(int argc, char **argv) {
   std::string Source = DemoSource;
   std::string FileName = "<demo>";
-  xform::Strategy Strat = xform::Strategy::C2;
   bool DumpASDG = false, DumpSource = false, EmitC = false,
        EmitF77 = false, Explain = false, Stats = false,
-       Simulate = false, Lint = false, Metrics = false;
-  std::string TraceFile;
-  std::optional<xform::ExecMode> Exec;
-  uint64_t Seed = 1;
-  verify::VerifyLevel VerifyLevel = verify::VerifyLevel::Full;
+       Simulate = false, Lint = false;
+  tool::ToolOptions TO; // shared flags; zplc's verify default is full
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
-    if (Arg.rfind("--strategy=", 0) == 0) {
-      auto S = xform::strategyNamed(Arg.substr(11));
-      if (!S) {
-        std::cerr << "zplc: unknown strategy '" << Arg.substr(11) << "'\n";
-        return 1;
-      }
-      Strat = *S;
+    std::string FlagError;
+    switch (tool::parseToolFlag(Arg, tool::TF_All, TO, FlagError)) {
+    case tool::FlagParse::Consumed:
       continue;
+    case tool::FlagParse::Error:
+      std::cerr << "zplc: " << FlagError << '\n';
+      return 1;
+    case tool::FlagParse::NotMine:
+      break;
     }
     if (Arg == "--dump-asdg") {
       DumpASDG = true;
@@ -128,37 +128,6 @@ int main(int argc, char **argv) {
       Lint = true;
       continue;
     }
-    if (Arg.rfind("--verify=", 0) == 0) {
-      auto L = verify::verifyLevelNamed(Arg.substr(9));
-      if (!L) {
-        std::cerr << "zplc: unknown verification level '" << Arg.substr(9)
-                  << "'\n";
-        return 1;
-      }
-      VerifyLevel = *L;
-      continue;
-    }
-    if (Arg.rfind("--exec=", 0) == 0) {
-      Exec = xform::execModeNamed(Arg.substr(7));
-      if (!Exec) {
-        std::cerr << "zplc: unknown execution mode '" << Arg.substr(7)
-                  << "'\n";
-        return 1;
-      }
-      continue;
-    }
-    if (Arg.rfind("--seed=", 0) == 0) {
-      Seed = static_cast<uint64_t>(std::atoll(Arg.c_str() + 7));
-      continue;
-    }
-    if (Arg.rfind("--trace=", 0) == 0) {
-      TraceFile = Arg.substr(8);
-      continue;
-    }
-    if (Arg == "--metrics") {
-      Metrics = true;
-      continue;
-    }
     std::ifstream In(Arg);
     if (!In) {
       std::cerr << "zplc: error: cannot open " << Arg << '\n';
@@ -170,10 +139,9 @@ int main(int argc, char **argv) {
     FileName = Arg;
   }
 
-  if (!TraceFile.empty())
-    obs::setLevel(obs::ObsLevel::Trace);
-  else if (Metrics && obs::level() == obs::ObsLevel::Off)
-    obs::setLevel(obs::ObsLevel::Counters);
+  tool::applyObsLevel(TO);
+  xform::Strategy Strat = TO.Strat.value_or(xform::Strategy::C2);
+  verify::VerifyLevel VerifyLevel = TO.Verify;
 
   frontend::ParseResult Result = frontend::parseProgram(Source, FileName);
   if (!Result.succeeded()) {
@@ -230,31 +198,30 @@ int main(int argc, char **argv) {
     std::exit(1);
   };
 
-  analysis::ASDG G = [&] {
-    obs::Span S("pipeline.asdg");
-    return analysis::ASDG::build(P);
-  }();
-  if (VerifyLevel >= verify::VerifyLevel::Structural) {
-    obs::Span S("pipeline.verify", "structure");
-    CheckVerified(verify::verifyStructure(P, &G));
+  // The pipeline owns ASDG -> strategy -> scalarize from here (opening
+  // the same obs spans this tool used to open by hand). Alignment and
+  // normalization already ran above, so the pipeline's own pass is off.
+  driver::PipelineOptions PO;
+  PO.Normalize = false;
+  PO.Verify = VerifyLevel;
+  driver::Pipeline PL(P, PO);
+  driver::CompileRequest CReq;
+  CReq.Strat = Strat;
+  driver::CompileStatus CSt = PL.tryCompile(CReq);
+  if (CSt.Code == driver::CompileCode::InvalidProgram) {
+    std::cerr << FileName << ": error: " << CSt.Message << '\n';
+    return 1;
   }
-  if (VerifyLevel >= verify::VerifyLevel::Full) {
-    obs::Span S("pipeline.verify", "dependences");
-    CheckVerified(verify::verifyDependences(G));
+  if (!CSt.ok()) {
+    std::cerr << "zplc: verification failed: " << CSt.Message << '\n';
+    return 1;
   }
   if (DumpASDG) {
-    G.print(std::cout);
+    PL.asdg().print(std::cout);
     std::cout << '\n';
   }
 
-  xform::StrategyResult SR = [&] {
-    obs::Span S("pipeline.strategy", xform::getStrategyName(Strat));
-    return xform::applyStrategy(G, Strat);
-  }();
-  if (VerifyLevel >= verify::VerifyLevel::Full) {
-    obs::Span S("pipeline.verify", "strategy");
-    CheckVerified(verify::verifyStrategy(G, SR));
-  }
+  const xform::StrategyResult &SR = *CSt.SR;
   std::cout << "// strategy " << xform::getStrategyName(Strat) << ": "
             << SR.Partition.numClusters() << " loop nests, "
             << SR.Contracted.size() << " arrays contracted";
@@ -271,10 +238,7 @@ int main(int argc, char **argv) {
               << xform::contractionReport(SR) << '\n';
   }
 
-  auto LP = [&] {
-    obs::Span S("pipeline.scalarize");
-    return scalarize::scalarize(G, SR);
-  }();
+  lir::LoopProgram LP = std::move(CSt.Artifact->LP);
   if (EmitC)
     std::cout << scalarize::emitC(LP, "kernel");
   else if (EmitF77)
@@ -298,22 +262,23 @@ int main(int argc, char **argv) {
                 << '\n';
     }
   }
-  if (Exec) {
+  if (TO.Exec) {
     exec::RunResult Res;
     {
-      obs::Span ExecSpan("pipeline.execute", xform::getExecModeName(*Exec));
-      if (*Exec == xform::ExecMode::Parallel) {
+      obs::Span ExecSpan("pipeline.execute",
+                         xform::getExecModeName(*TO.Exec));
+      if (*TO.Exec == xform::ExecMode::Parallel) {
         // Plan explicitly so the schedule run is the schedule certified.
         exec::ParallelSchedule Sched = exec::planParallelism(LP);
         if (VerifyLevel >= verify::VerifyLevel::Full)
           CheckVerified(verify::verifyParallelSafety(LP, Sched));
-        Res = exec::runParallel(LP, Seed, exec::ParallelOptions(), Sched);
+        Res = exec::runParallel(LP, TO.Seed, exec::ParallelOptions(), Sched);
       } else {
-        Res = exec::runWithMode(LP, Seed, *Exec);
+        Res = exec::runWithMode(LP, TO.Seed, *TO.Exec);
       }
     }
-    std::cout << "\n// executed (" << xform::getExecModeName(*Exec)
-              << ", seed " << Seed << "):\n";
+    std::cout << "\n// executed (" << xform::getExecModeName(*TO.Exec)
+              << ", seed " << TO.Seed << "):\n";
     for (const auto &[Name, Value] : Res.ScalarsOut)
       std::cout << "//   " << Name << " = "
                 << alf::formatString("%.17g", Value) << '\n';
@@ -330,17 +295,12 @@ int main(int argc, char **argv) {
     std::cout << '\n';
     alf::printStatistics(std::cout);
   }
-  if (Metrics) {
+  if (TO.Metrics)
     std::cout << '\n';
-    obs::writeMetricsTable(std::cout);
-  }
-  if (!TraceFile.empty()) {
-    if (!obs::writeChromeTraceFile(TraceFile)) {
-      std::cerr << "zplc: cannot write trace to " << TraceFile << '\n';
-      return 1;
-    }
+  if (!tool::emitObsOutputs(TO, std::cout, std::cerr, "zplc"))
+    return 1;
+  if (!TO.TraceFile.empty())
     std::cout << "// trace: " << obs::numTraceEvents() << " events -> "
-              << TraceFile << '\n';
-  }
+              << TO.TraceFile << '\n';
   return 0;
 }

@@ -4,6 +4,7 @@
 
 #include "comm/CommInsertion.h"
 #include "ir/Normalize.h"
+#include "ir/Verifier.h"
 #include "obs/Obs.h"
 #include "scalarize/Scalarize.h"
 #include "support/ErrorHandling.h"
@@ -42,6 +43,10 @@ void Pipeline::check(verify::VerifyReport R) {
   ++NumPipelineVerifyFailures;
   for (const verify::VerifyFinding &F : R.Findings)
     Findings.Findings.push_back(F);
+  // tryCompile suspends the failure policy: the findings surface through
+  // the structured CompileStatus it returns.
+  if (Collecting)
+    return;
   if (Opts.OnVerifyError) {
     Opts.OnVerifyError(R);
     return;
@@ -66,6 +71,7 @@ const analysis::ASDG &Pipeline::asdg() {
       obs::Span S("pipeline.asdg");
       G = analysis::ASDG::build(P);
     }
+    size_t Before = Findings.Findings.size();
     if (Opts.Verify >= verify::VerifyLevel::Structural) {
       obs::Span S("pipeline.verify", "structure");
       check(verify::verifyStructure(P, &*G));
@@ -74,6 +80,10 @@ const analysis::ASDG &Pipeline::asdg() {
       obs::Span S("pipeline.verify", "dependences");
       check(verify::verifyDependences(*G));
     }
+    // A rejected graph poisons every strategy served from it; tryCompile
+    // reports this sticky state on each later call.
+    if (Findings.Findings.size() > Before)
+      GraphRejected = true;
   }
   return *G;
 }
@@ -108,14 +118,88 @@ lir::LoopProgram Pipeline::scalarize(const StrategyResult &SR) {
   return LP;
 }
 
-CompiledProgram Pipeline::compile(Strategy S) {
-  StrategyResult SR = strategy(S);
+const char *driver::getCompileCodeName(CompileCode C) {
+  switch (C) {
+  case CompileCode::Ok:
+    return "ok";
+  case CompileCode::InvalidProgram:
+    return "invalid-program";
+  case CompileCode::VerifyRejected:
+    return "verify-rejected";
+  }
+  return "?";
+}
+
+CompileStatus Pipeline::tryCompile(const CompileRequest &Req) {
+  CompileStatus St;
+  prepare();
+
+  // Gate analysis on IR well-formedness: strategy selection and
+  // scalarization assume the normal-form invariants and may misbehave
+  // on client programs that violate them.
+  {
+    std::vector<std::string> Errors = ir::verifyProgram(P);
+    if (!Errors.empty()) {
+      St.Code = CompileCode::InvalidProgram;
+      St.Message = Errors.front();
+      return St;
+    }
+  }
+
+  bool SavedCollecting = Collecting;
+  Collecting = true;
+  size_t Before = Findings.Findings.size();
+
+  asdg();
+  if (GraphRejected) {
+    Collecting = SavedCollecting;
+    St.Code = CompileCode::VerifyRejected;
+    St.Findings.Findings.assign(Findings.Findings.begin() + Before,
+                                Findings.Findings.end());
+    if (St.Findings.ok()) // rejected by an earlier call; re-surface it
+      St.Findings = Findings;
+    St.Message = St.Findings.Findings.front().str();
+    return St;
+  }
+
+  // Run the chain to completion even when a proof rejects (matching the
+  // legacy handler-and-continue policy), but report the rejection.
+  xform::StrategyResult SR = strategy(Req.Strat);
+  lir::LoopProgram LP = scalarize(SR);
+  Collecting = SavedCollecting;
+
   std::vector<std::string> Names;
   Names.reserve(SR.Contracted.size());
   for (const ir::ArraySymbol *A : SR.Contracted)
     Names.push_back(A->getName());
-  return CompiledProgram{scalarize(SR), SR.Partition.numClusters(),
-                         std::move(Names)};
+  St.Artifact.emplace(CompiledProgram{std::move(LP),
+                                      SR.Partition.numClusters(),
+                                      std::move(Names)});
+  St.SR = std::move(SR);
+
+  if (Findings.Findings.size() > Before) {
+    St.Code = CompileCode::VerifyRejected;
+    St.Findings.Findings.assign(Findings.Findings.begin() + Before,
+                                Findings.Findings.end());
+    St.Message = St.Findings.Findings.front().str();
+  }
+  return St;
+}
+
+CompiledProgram Pipeline::compile(Strategy S) {
+  CompileStatus St = tryCompile(CompileRequest{S});
+  if (!St.ok()) {
+    if (!St.Findings.ok() && Opts.OnVerifyError)
+      Opts.OnVerifyError(St.Findings); // legacy policy: notify, continue
+    else if (St.Code == CompileCode::VerifyRejected)
+      reportFatalError(
+          ("translation validation failed: " + St.Message).c_str());
+    else
+      reportFatalError(("compile failed: " + St.Message).c_str());
+  }
+  if (!St.Artifact)
+    reportFatalError(("compile failed: " + St.Message).c_str());
+  return std::move(*St.Artifact);
 }
 
 RunResult Pipeline::run(const lir::LoopProgram &LP, ExecMode Mode,

@@ -94,6 +94,52 @@ struct CompiledProgram {
   std::vector<std::string> ContractedNames; ///< fully contracted arrays
 };
 
+/// What one Pipeline::tryCompile call asks for. A struct (rather than a
+/// bare Strategy) so the serving layer's wire protocol and future knobs
+/// extend without touching every caller.
+struct CompileRequest {
+  xform::Strategy Strat = xform::Strategy::C2;
+};
+
+/// Why a tryCompile call did not produce a certified artifact.
+enum class CompileCode {
+  Ok,             ///< Artifact produced; every requested proof passed.
+  InvalidProgram, ///< The (prepared) program fails IR verification.
+  VerifyRejected, ///< A translation-validation pass rejected a product.
+};
+
+/// Printable name ("ok", "invalid-program", "verify-rejected") — these
+/// are wire-protocol error codes for the serving layer, so they are
+/// stable.
+const char *getCompileCodeName(CompileCode C);
+
+/// The structured outcome of one Pipeline::tryCompile: status plus, when
+/// the chain ran to completion, the strategy result and the artifact.
+///
+/// On VerifyRejected the artifact may still be present (the chain is
+/// attempted end to end, matching the legacy OnVerifyError-and-continue
+/// policy) but MUST NOT be executed by callers that asked for
+/// verification — a failed proof means the code is not certified.
+struct CompileStatus {
+  CompileCode Code = CompileCode::Ok;
+
+  /// First diagnostic, one line; empty on Ok. For VerifyRejected this is
+  /// the leading finding's "[pass] message" rendering.
+  std::string Message;
+
+  /// Every finding this call produced (VerifyRejected only).
+  verify::VerifyReport Findings;
+
+  /// The strategy decision (partition + contraction set); present
+  /// whenever analysis ran, so callers can inspect or report it.
+  std::optional<xform::StrategyResult> SR;
+
+  /// The compiled artifact; see the class comment for the rejected case.
+  std::optional<CompiledProgram> Artifact;
+
+  bool ok() const { return Code == CompileCode::Ok; }
+};
+
 /// Facade over the parse/normalize -> ASDG -> strategy -> scalarize ->
 /// execute chain for one program. Not thread-safe; create one per thread.
 /// The wrapped program must outlive the pipeline (the ASDG and every
@@ -130,7 +176,25 @@ public:
   /// a warm flush re-executes the artifact's loop program (via the
   /// *OnStorage entry points) without touching the ASDG or the strategy
   /// machinery again.
+  ///
+  /// Thin wrapper over tryCompile keeping the legacy failure policy: a
+  /// rejection runs OnVerifyError when installed (and still returns the
+  /// artifact), else reportFatalError. New callers — anything serving
+  /// untrusted input — should use tryCompile and branch on the status.
   CompiledProgram compile(xform::Strategy S);
+
+  /// Status-returning compile: runs IR verification, analysis, strategy
+  /// selection and scalarization, and reports invalid programs and
+  /// verification rejections as a structured CompileStatus instead of
+  /// aborting or invoking OnVerifyError. This is the re-entrant entry
+  /// point the serving layer compiles every client request through: the
+  /// caller decides the failure policy per request.
+  ///
+  /// Findings are still accumulated into verifyFindings(). A rejection
+  /// of the shared analysis (ASDG structure or dependence diff) poisons
+  /// the pipeline: every later tryCompile on it reports VerifyRejected,
+  /// since all strategies consume the same graph.
+  CompileStatus tryCompile(const CompileRequest &Req);
 
   /// Runs \p S under \p Mode on inputs seeded by \p Seed. All modes have
   /// the same observable semantics (NativeJit falls back to the
@@ -165,12 +229,16 @@ private:
   void prepare();
 
   /// Runs the failure policy on \p R's findings (if any) and accumulates
-  /// them into Findings.
+  /// them into Findings. Inside tryCompile the policy is suspended
+  /// (Collecting): findings accumulate and surface through the returned
+  /// CompileStatus instead.
   void check(verify::VerifyReport R);
 
   ir::Program &P;
   PipelineOptions Opts;
   bool Prepared = false;
+  bool Collecting = false;     ///< tryCompile in progress; see check().
+  bool GraphRejected = false;  ///< A verify pass rejected the shared ASDG.
   std::optional<analysis::ASDG> G;
   std::unique_ptr<exec::JitEngine> Jit;
   verify::VerifyReport Findings;

@@ -10,6 +10,7 @@
 #include "support/StringUtil.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstdlib>
 #include <dlfcn.h>
 #include <filesystem>
@@ -151,40 +152,82 @@ const std::string &JitEngine::compilerVersion() {
 JitEngine::LoadedKernel *JitEngine::kernelFor(const scalarize::CModule &Module,
                                               JitRunInfo &Info,
                                               std::string &WhyNot) {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  uint64_t Hash;
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
 
-  std::string Version = compilerVersion();
-  if (Version.empty()) {
-    WhyNot = "compiler '" + Opts.Compiler + "' is not available";
+    std::string Version = compilerVersion();
+    if (Version.empty()) {
+      WhyNot = "compiler '" + Opts.Compiler + "' is not available";
+      return nullptr;
+    }
+
+    Hash = contentHash(Module.Source, Opts, Version);
+    Info.SoPath = soPathFor(Opts.CacheDir, Hash);
+
+    // Single-flight admission: either the kernel is loaded (hit), or
+    // someone else is compiling it (wait, then re-check), or this thread
+    // claims the hash and compiles it below, unlocked. A waiter whose
+    // winner failed falls out of the wait loop and becomes the next
+    // compiler — failures are not negative-cached.
+    for (;;) {
+      auto It = Kernels.find(Hash);
+      if (It != Kernels.end()) {
+        Info.CacheHitMemory = true;
+        ++NumJitCacheMemoryHits;
+        obs::instant("jit.cache.memory_hit");
+        return &It->second;
+      }
+      if (!InFlight.count(Hash)) {
+        InFlight.insert(Hash);
+        break;
+      }
+      InFlightDone.wait(Lock);
+    }
+  }
+
+  // From here the hash is claimed: every exit must release it and wake
+  // the waiters, whether a kernel was installed or not.
+  LoadedKernel Compiled;
+  std::string FailReason;
+  compileAndLoad(Module, Info, Compiled, FailReason);
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  InFlight.erase(Hash);
+  InFlightDone.notify_all();
+  if (!Compiled.Entry) {
+    WhyNot = std::move(FailReason);
     return nullptr;
   }
+  assert(!Kernels.count(Hash) &&
+         "single-flight violated: kernel compiled twice");
+  return &Kernels.emplace(Hash, Compiled).first->second;
+}
 
-  uint64_t Hash = contentHash(Module.Source, Opts, Version);
-  Info.SoPath = soPathFor(Opts.CacheDir, Hash);
-
-  auto It = Kernels.find(Hash);
-  if (It != Kernels.end()) {
-    Info.CacheHitMemory = true;
-    ++NumJitCacheMemoryHits;
-    obs::instant("jit.cache.memory_hit");
-    return &It->second;
-  }
-
-  auto LoadEntry = [&](void *Handle) -> LoadedKernel * {
+/// The unlocked slice of kernelFor: disk-cache probe, compile, install,
+/// dlopen. Runs with the content hash claimed in InFlight, so no other
+/// thread of this engine works on the same entry; cross-process races on
+/// the shared directory are handled by the write-temp-then-rename
+/// install. On success \p Out holds an open handle and entry pointer; on
+/// failure \p WhyNot explains the rung that broke.
+void JitEngine::compileAndLoad(const scalarize::CModule &Module,
+                               JitRunInfo &Info, LoadedKernel &Out,
+                               std::string &WhyNot) {
+  auto LoadEntry = [&](void *Handle) -> bool {
     void *Sym = dlsym(Handle, Module.EntryName.c_str());
     if (!Sym)
-      return nullptr;
-    LoadedKernel Kernel;
-    Kernel.Handle = Handle;
-    Kernel.Entry = reinterpret_cast<void (*)(double **, double *)>(Sym);
-    return &Kernels.emplace(Hash, Kernel).first->second;
+      return false;
+    Out.Handle = Handle;
+    Out.Entry = reinterpret_cast<void (*)(double **, double *)>(Sym);
+    return true;
   };
 
   std::error_code EC;
   // Warm path: a previous process (or CI run) compiled this kernel.
   if (std::filesystem::exists(Info.SoPath, EC)) {
-    if (void *Handle = dlopen(Info.SoPath.c_str(), RTLD_NOW | RTLD_LOCAL)) {
-      if (LoadedKernel *Kernel = LoadEntry(Handle)) {
+    void *Handle = dlopen(Info.SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+    if (Handle) {
+      if (LoadEntry(Handle)) {
         Info.CacheHitDisk = true;
         ++NumJitCacheDiskHits;
         obs::instant("jit.cache.disk_hit");
@@ -192,7 +235,7 @@ JitEngine::LoadedKernel *JitEngine::kernelFor(const scalarize::CModule &Module,
         // kernels and drops cold ones.
         std::filesystem::last_write_time(
             Info.SoPath, std::filesystem::file_time_type::clock::now(), EC);
-        return Kernel;
+        return;
       }
       dlclose(Handle);
     }
@@ -209,11 +252,11 @@ JitEngine::LoadedKernel *JitEngine::kernelFor(const scalarize::CModule &Module,
   std::string SrcPath =
       Info.SoPath.substr(0, Info.SoPath.size() - 3) + ".c";
   {
-    std::ofstream Out(SrcPath);
-    Out << Module.Source;
-    if (!Out) {
+    std::ofstream Src(SrcPath);
+    Src << Module.Source;
+    if (!Src) {
       WhyNot = "cannot write kernel source to " + SrcPath;
-      return nullptr;
+      return;
     }
   }
   std::string TmpSo = Info.SoPath + formatString(".tmp%d", getpid());
@@ -235,13 +278,13 @@ JitEngine::LoadedKernel *JitEngine::kernelFor(const scalarize::CModule &Module,
                        (CR.Output.empty() ? "exit " +
                                                 std::to_string(CR.ExitCode)
                                           : CR.Output);
-    return nullptr;
+    return;
   }
   std::filesystem::rename(TmpSo, Info.SoPath, EC);
   if (EC) {
     std::filesystem::remove(TmpSo, EC);
     WhyNot = "cannot install compiled kernel into the cache";
-    return nullptr;
+    return;
   }
   if (Opts.MaxCacheBytes)
     evictCacheOverage(Opts.CacheDir, Opts.MaxCacheBytes, Info.SoPath);
@@ -250,13 +293,12 @@ JitEngine::LoadedKernel *JitEngine::kernelFor(const scalarize::CModule &Module,
   if (!Handle) {
     const char *Err = dlerror();
     WhyNot = std::string("dlopen failed: ") + (Err ? Err : "unknown error");
-    return nullptr;
+    return;
   }
-  if (LoadedKernel *Kernel = LoadEntry(Handle))
-    return Kernel;
+  if (LoadEntry(Handle))
+    return;
   dlclose(Handle);
   WhyNot = "entry symbol '" + Module.EntryName + "' missing from kernel";
-  return nullptr;
 }
 
 void JitEngine::runOnStorage(const LoopProgram &LP, Storage &Store,

@@ -35,8 +35,10 @@
 #include "scalarize/CEmitter.h"
 #include "scalarize/LoopIR.h"
 
+#include <condition_variable>
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 
 namespace alf {
@@ -82,6 +84,36 @@ struct JitRunInfo {
 /// A JIT compilation engine: owns the loaded kernels of one process and
 /// the handle bookkeeping. Thread-safe; one engine can serve every
 /// strategy of a sweep so repeated shapes hit the in-memory cache.
+///
+/// Thread-safety contract (the serving layer dispatches many worker
+/// threads into one engine):
+///
+///  - run/runOnStorage/kernelFor may be called concurrently from any
+///    number of threads. Kernel lookup and installation are guarded by
+///    the engine mutex; compilation, disk-cache I/O and dlopen run
+///    UNLOCKED so a ~300 ms compile of one kernel never blocks warm
+///    dispatch of another.
+///  - Compiles are single-flight per content hash: the first thread to
+///    miss marks the hash in-flight and compiles; later threads needing
+///    the same hash block on a condition variable and are handed the
+///    installed kernel — an N-thread thundering herd of one program
+///    performs exactly one compiler invocation (asserted in debug
+///    builds: installation requires the hash to be absent from the
+///    loaded-kernel map). Failed compiles are not negative-cached: the
+///    next waiter retries, preserving the retry behavior single-threaded
+///    callers always had.
+///  - Installed LoadedKernel entries are never erased before the engine
+///    is destroyed, and std::map never moves mapped values, so the
+///    pointer kernelFor returns stays valid (and Entry is immutable) for
+///    the engine's lifetime; dispatch through it needs no lock.
+///  - The disk-cache LRU bound (MaxCacheBytes) may evict an entry that a
+///    concurrent thread or process is between installing and dlopening.
+///    Eviction deletes oldest-mtime first and a just-installed entry is
+///    mtime-newest (disk hits refresh mtime), so this is rare; when it
+///    does happen the loser re-compiles or falls back to the
+///    interpreter — never a wrong result. An already-dlopened kernel is
+///    unaffected by deletion of its backing file (the mapping survives
+///    unlink).
 class JitEngine {
 public:
   explicit JitEngine(JitOptions Opts = JitOptions());
@@ -124,14 +156,22 @@ private:
 
   /// Returns the entry point for \p Module's kernel, compiling and/or
   /// loading as needed; null with \p WhyNot set when every rung failed.
+  /// Single-flight per content hash (see the class comment).
   LoadedKernel *kernelFor(const scalarize::CModule &Module, JitRunInfo &Info,
                           std::string &WhyNot);
+
+  /// Disk probe + compile + dlopen, run without the engine lock while
+  /// the content hash is claimed in InFlight.
+  void compileAndLoad(const scalarize::CModule &Module, JitRunInfo &Info,
+                      LoadedKernel &Out, std::string &WhyNot);
 
   const std::string &compilerVersion();
 
   JitOptions Opts;
   std::mutex Mutex;
   std::map<uint64_t, LoadedKernel> Kernels; // by content hash
+  std::set<uint64_t> InFlight;              // hashes being compiled now
+  std::condition_variable InFlightDone;     // signaled per finished compile
   std::string CompilerVersion;
   bool CompilerVersionProbed = false;
 };

@@ -359,9 +359,21 @@ std::unique_ptr<EngineImpl::CacheEntry> EngineImpl::buildEntry() {
   PO.Jit = Opts.Jit;
   PO.Verify = Opts.Verify;
   driver::Pipeline PL(*E->P, PO);
-  E->CP.emplace(PL.compile(Opts.Strat));
-  // Footprints after normalization (prepare() ran inside compile), so the
-  // bounds cover any compiler temporaries it inserted.
+  driver::CompileRequest CReq;
+  CReq.Strat = Opts.Strat;
+  driver::CompileStatus St = PL.tryCompile(CReq);
+  if (!St.ok() || !St.Artifact) {
+    // A trace the engine recorded itself should always compile; a
+    // rejection here means the recorder produced an invalid program or a
+    // translation-validation pass caught a real miscompile.
+    reportFatalError(("runtime trace compile failed (" +
+                      std::string(driver::getCompileCodeName(St.Code)) +
+                      "): " + St.Message)
+                         .c_str());
+  }
+  E->CP = std::move(St.Artifact);
+  // Footprints after normalization (prepare() ran inside tryCompile), so
+  // the bounds cover any compiler temporaries it inserted.
   E->FI = analysis::FootprintInfo::compute(*E->P);
   if (Opts.Mode == xform::ExecMode::Parallel)
     E->Sched = exec::planParallelism(E->CP->LP);

@@ -1,0 +1,113 @@
+//===- serve/Client.cpp - alfd client connection ----------------------------===//
+
+#include "serve/Client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace alf;
+using namespace alf::serve;
+
+bool Client::connect(const std::string &SocketPath, std::string *Error) {
+  close();
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    if (Error)
+      *Error = "socket path too long: " + SocketPath;
+    return false;
+  }
+  std::strncpy(Addr.sun_path, SocketPath.c_str(), sizeof(Addr.sun_path) - 1);
+  Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    if (Error)
+      *Error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    if (Error)
+      *Error = "connect " + SocketPath + ": " + std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+void Client::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+bool Client::request(const json::Value &Req, json::Value &Resp,
+                     std::string *Error) {
+  if (Fd < 0) {
+    if (Error)
+      *Error = "not connected";
+    return false;
+  }
+  if (!writeFrame(Fd, Req)) {
+    if (Error)
+      *Error = "write failed";
+    close();
+    return false;
+  }
+  std::string Why;
+  FrameRead R = readFrame(Fd, DefaultMaxFrameBytes, Resp, &Why);
+  if (R != FrameRead::Ok) {
+    if (Error)
+      *Error = std::string(getFrameReadName(R)) + ": " + Why;
+    close();
+    return false;
+  }
+  return true;
+}
+
+json::Value Client::makeHealth() {
+  json::Value V = json::Value::object();
+  V.set("op", json::Value::str("health"));
+  return V;
+}
+
+json::Value Client::makeStats() {
+  json::Value V = json::Value::object();
+  V.set("op", json::Value::str("stats"));
+  return V;
+}
+
+json::Value Client::makeShutdown() {
+  json::Value V = json::Value::object();
+  V.set("op", json::Value::str("shutdown"));
+  return V;
+}
+
+json::Value Client::makeCompile(const std::string &Program,
+                                const std::string &Strategy,
+                                const std::string &Exec,
+                                const std::string &Verify) {
+  json::Value V = json::Value::object();
+  V.set("op", json::Value::str("compile"));
+  V.set("program", json::Value::str(Program));
+  if (!Strategy.empty())
+    V.set("strategy", json::Value::str(Strategy));
+  if (!Exec.empty())
+    V.set("exec", json::Value::str(Exec));
+  if (!Verify.empty())
+    V.set("verify", json::Value::str(Verify));
+  return V;
+}
+
+json::Value Client::makeExecute(const std::string &Program,
+                                const std::string &Strategy,
+                                const std::string &Exec,
+                                const std::string &Verify, uint64_t Seed) {
+  json::Value V = makeCompile(Program, Strategy, Exec, Verify);
+  V.set("op", json::Value::str("execute"));
+  V.set("seed", json::Value::number(static_cast<double>(Seed)));
+  return V;
+}

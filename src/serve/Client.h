@@ -1,0 +1,71 @@
+//===- serve/Client.h - alfd client connection -----------------*- C++ -*-===//
+//
+// Part of the ALF project: array-level fusion and contraction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A blocking client for the alfd protocol: connect to the daemon's
+/// Unix socket, exchange framed JSON requests one at a time. alfc and
+/// the load harness are thin wrappers over this; tests drive it against
+/// an in-process Server.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALF_SERVE_CLIENT_H
+#define ALF_SERVE_CLIENT_H
+
+#include "serve/Protocol.h"
+
+#include <cstdint>
+#include <string>
+
+namespace alf {
+namespace serve {
+
+/// One connection to a daemon. Not thread-safe; one per thread.
+class Client {
+public:
+  Client() = default;
+  ~Client() { close(); }
+
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  /// Connects to the daemon at \p SocketPath; false with \p Error set on
+  /// failure.
+  bool connect(const std::string &SocketPath, std::string *Error = nullptr);
+
+  bool connected() const { return Fd >= 0; }
+  void close();
+
+  /// One request/response round trip. False with \p Error set on any
+  /// framing or transport failure (the connection is then closed — the
+  /// stream may be out of sync).
+  bool request(const json::Value &Req, json::Value &Resp,
+               std::string *Error = nullptr);
+
+  // --- request builders ---
+  static json::Value makeHealth();
+  static json::Value makeStats();
+  static json::Value makeShutdown();
+  /// \p Strategy/\p Exec/\p Verify may be empty to take the daemon's
+  /// defaults.
+  static json::Value makeCompile(const std::string &Program,
+                                 const std::string &Strategy = "",
+                                 const std::string &Exec = "",
+                                 const std::string &Verify = "");
+  static json::Value makeExecute(const std::string &Program,
+                                 const std::string &Strategy = "",
+                                 const std::string &Exec = "",
+                                 const std::string &Verify = "",
+                                 uint64_t Seed = 0);
+
+private:
+  int Fd = -1;
+};
+
+} // namespace serve
+} // namespace alf
+
+#endif // ALF_SERVE_CLIENT_H

@@ -1,0 +1,129 @@
+//===- serve/KernelCache.cpp - Sharded single-flight compile cache ----------===//
+
+#include "serve/KernelCache.h"
+
+#include "obs/Obs.h"
+
+#include <algorithm>
+
+using namespace alf;
+using namespace alf::serve;
+
+const char *serve::getCacheOutcomeName(CacheOutcome O) {
+  switch (O) {
+  case CacheOutcome::Hit:
+    return "hit";
+  case CacheOutcome::Miss:
+    return "miss";
+  case CacheOutcome::Coalesced:
+    return "coalesced";
+  }
+  return "?";
+}
+
+KernelCache::KernelCache(unsigned NumShards, TaskQueue *InDispatch)
+    : Dispatch(InDispatch) {
+  NumShards = std::max(1u, NumShards);
+  Shards.reserve(NumShards);
+  for (unsigned I = 0; I < NumShards; ++I)
+    Shards.push_back(std::make_unique<Shard>());
+}
+
+KernelCache::Shard &KernelCache::shardFor(const CompileKey &Key) {
+  // Mix the secondary key fields in so one hot program compiled under
+  // several strategies still spreads across shards.
+  uint64_t H = Key.ProgramHash;
+  H ^= (static_cast<uint64_t>(Key.Strat) << 8) ^
+       (static_cast<uint64_t>(Key.Mode) << 16) ^
+       (static_cast<uint64_t>(Key.Verify) << 24);
+  H ^= H >> 33;
+  return *Shards[H % Shards.size()];
+}
+
+const KernelCache::Shard &KernelCache::shardFor(const CompileKey &Key) const {
+  return const_cast<KernelCache *>(this)->shardFor(Key);
+}
+
+std::shared_ptr<const CompiledEntry>
+KernelCache::get(const CompileKey &Key, const CompileFn &Compile,
+                 CacheOutcome *Outcome) {
+  Shard &S = shardFor(Key);
+  std::shared_ptr<Slot> Sl;
+  bool Owner = false;
+  {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    auto It = S.Slots.find(Key);
+    if (It != S.Slots.end()) {
+      Sl = It->second;
+    } else {
+      Sl = std::make_shared<Slot>();
+      S.Slots.emplace(Key, Sl);
+      Owner = true;
+    }
+  }
+
+  if (!Owner) {
+    std::unique_lock<std::mutex> Lock(Sl->Mu);
+    bool Waited = !Sl->Done;
+    Sl->Ready.wait(Lock, [&] { return Sl->Done; });
+    if (Waited) {
+      ++NumCoalesced;
+      obs::instant("serve.cache.coalesced");
+      // A coalesced wait is still a request served without compiling;
+      // count it as a hit too so the hit rate reads naturally.
+      obs::instant("serve.cache.hit");
+      if (Outcome)
+        *Outcome = CacheOutcome::Coalesced;
+    } else {
+      ++NumHits;
+      obs::instant("serve.cache.hit");
+      if (Outcome)
+        *Outcome = CacheOutcome::Hit;
+    }
+    return Sl->Entry;
+  }
+
+  ++NumMisses;
+  obs::instant("serve.cache.miss");
+  if (Outcome)
+    *Outcome = CacheOutcome::Miss;
+
+  auto RunAndPublish = [Sl, &Compile] {
+    auto Entry = std::make_shared<const CompiledEntry>(Compile());
+    std::lock_guard<std::mutex> Lock(Sl->Mu);
+    Sl->Entry = std::move(Entry);
+    Sl->Done = true;
+    Sl->Ready.notify_all();
+  };
+
+  if (Dispatch) {
+    // Run on the compile queue so pipeline work is bounded to its thread
+    // budget; this caller (a connection thread) blocks like a coalesced
+    // waiter, but later requests for other keys proceed unimpeded.
+    Dispatch->submit(RunAndPublish);
+    std::unique_lock<std::mutex> Lock(Sl->Mu);
+    Sl->Ready.wait(Lock, [&] { return Sl->Done; });
+    return Sl->Entry;
+  }
+
+  RunAndPublish();
+  std::lock_guard<std::mutex> Lock(Sl->Mu);
+  return Sl->Entry;
+}
+
+size_t KernelCache::size() const {
+  size_t N = 0;
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->Mu);
+    N += S->Slots.size();
+  }
+  return N;
+}
+
+KernelCache::Stats KernelCache::stats() const {
+  Stats St;
+  St.Hits = NumHits.load(std::memory_order_relaxed);
+  St.Misses = NumMisses.load(std::memory_order_relaxed);
+  St.Coalesced = NumCoalesced.load(std::memory_order_relaxed);
+  return St;
+}

@@ -1,0 +1,140 @@
+//===- serve/Protocol.cpp - alfd wire protocol framing ----------------------===//
+
+#include "serve/Protocol.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace alf;
+using namespace alf::serve;
+
+namespace {
+
+/// Writes all of [Data, Data+Len) to \p Fd. send() with MSG_NOSIGNAL so
+/// a peer that hung up yields an error return instead of SIGPIPE; plain
+/// write() when the fd is not a socket (pipes in tests).
+bool writeAll(int Fd, const char *Data, size_t Len) {
+  while (Len > 0) {
+    ssize_t N = ::send(Fd, Data, Len, MSG_NOSIGNAL);
+    if (N < 0 && errno == ENOTSOCK)
+      N = ::write(Fd, Data, Len);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    if (N == 0)
+      return false;
+    Data += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+/// Reads exactly \p Len bytes. 1 on success, 0 on clean EOF before the
+/// first byte, -1 on error or EOF mid-read.
+int readAll(int Fd, char *Data, size_t Len) {
+  bool Any = false;
+  while (Len > 0) {
+    ssize_t N = ::read(Fd, Data, Len);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return -1;
+    }
+    if (N == 0)
+      return Any ? -1 : 0;
+    Any = true;
+    Data += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return 1;
+}
+
+} // namespace
+
+const char *serve::getFrameReadName(FrameRead R) {
+  switch (R) {
+  case FrameRead::Ok:
+    return "ok";
+  case FrameRead::Eof:
+    return "eof";
+  case FrameRead::TooLarge:
+    return "too-large";
+  case FrameRead::Malformed:
+    return "malformed";
+  case FrameRead::IoError:
+    return "io-error";
+  }
+  return "?";
+}
+
+FrameRead serve::readFrame(int Fd, uint32_t MaxBytes, json::Value &Out,
+                           std::string *Error) {
+  auto Fail = [&](FrameRead R, const std::string &Why) {
+    if (Error)
+      *Error = Why;
+    return R;
+  };
+
+  unsigned char LenBuf[4];
+  int R = readAll(Fd, reinterpret_cast<char *>(LenBuf), sizeof(LenBuf));
+  if (R == 0)
+    return Fail(FrameRead::Eof, "peer closed the connection");
+  if (R < 0)
+    return Fail(FrameRead::IoError, "short read in the length prefix");
+
+  uint32_t Len = (static_cast<uint32_t>(LenBuf[0]) << 24) |
+                 (static_cast<uint32_t>(LenBuf[1]) << 16) |
+                 (static_cast<uint32_t>(LenBuf[2]) << 8) |
+                 static_cast<uint32_t>(LenBuf[3]);
+  if (Len == 0)
+    return Fail(FrameRead::Malformed, "zero-length frame");
+  if (Len > MaxBytes)
+    return Fail(FrameRead::TooLarge,
+                "frame of " + std::to_string(Len) + " bytes exceeds the " +
+                    std::to_string(MaxBytes) + "-byte cap");
+
+  std::string Payload(Len, '\0');
+  if (readAll(Fd, Payload.data(), Len) != 1)
+    return Fail(FrameRead::IoError, "short read in the payload");
+
+  std::string ParseError;
+  std::optional<json::Value> V = json::parse(Payload, &ParseError);
+  if (!V)
+    return Fail(FrameRead::Malformed, "bad JSON: " + ParseError);
+  if (!V->isObject())
+    return Fail(FrameRead::Malformed, "frame root is not an object");
+  Out = std::move(*V);
+  return FrameRead::Ok;
+}
+
+bool serve::writeFrame(int Fd, const json::Value &V) {
+  std::string Payload = V.str();
+  if (Payload.size() > 0xffffffffu)
+    return false;
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  unsigned char LenBuf[4] = {static_cast<unsigned char>(Len >> 24),
+                             static_cast<unsigned char>(Len >> 16),
+                             static_cast<unsigned char>(Len >> 8),
+                             static_cast<unsigned char>(Len)};
+  return writeAll(Fd, reinterpret_cast<char *>(LenBuf), sizeof(LenBuf)) &&
+         writeAll(Fd, Payload.data(), Payload.size());
+}
+
+json::Value serve::makeOk() {
+  json::Value V = json::Value::object();
+  V.set("ok", json::Value::boolean(true));
+  return V;
+}
+
+json::Value serve::makeError(const std::string &Code,
+                             const std::string &Message) {
+  json::Value V = json::Value::object();
+  V.set("ok", json::Value::boolean(false));
+  V.set("error", json::Value::str(Code));
+  V.set("message", json::Value::str(Message));
+  return V;
+}

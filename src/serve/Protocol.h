@@ -1,0 +1,79 @@
+//===- serve/Protocol.h - alfd wire protocol framing -----------*- C++ -*-===//
+//
+// Part of the ALF project: array-level fusion and contraction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The alfd wire protocol: a stream of frames over a Unix-domain stream
+/// socket, each frame a 4-byte big-endian payload length followed by one
+/// JSON object. Requests carry an `"op"` member ("health", "stats",
+/// "compile", "execute", "shutdown"); responses carry `"ok": true|false`
+/// plus either the op's result members or `"error"`/`"message"`. The
+/// length prefix bounds what the server must buffer before parsing, so
+/// admission control (max program bytes) happens before any JSON work.
+///
+/// Malformed input is classified, not guessed at: a zero-length frame,
+/// non-JSON payload or non-object root is Malformed (the peer is
+/// confused; answer once and hang up), a length above the cap is
+/// TooLarge (the peer may be fine but this frame is inadmissible), EOF
+/// between frames is a clean disconnect.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALF_SERVE_PROTOCOL_H
+#define ALF_SERVE_PROTOCOL_H
+
+#include "support/Json.h"
+
+#include <cstdint>
+#include <string>
+
+namespace alf {
+namespace serve {
+
+/// Bumped on any incompatible framing or schema change; `health` reports
+/// it so clients can refuse to talk to a future daemon.
+constexpr uint32_t ProtocolVersion = 1;
+
+/// Default cap on one frame's payload (1 MiB) — generous for programs,
+/// small enough that a hostile length prefix cannot balloon memory.
+constexpr uint32_t DefaultMaxFrameBytes = 1u << 20;
+
+/// Outcome of one readFrame call.
+enum class FrameRead {
+  Ok,        ///< A frame was read and parsed into an object.
+  Eof,       ///< Clean EOF on the frame boundary (peer hung up).
+  TooLarge,  ///< Length prefix exceeds the cap; payload not read.
+  Malformed, ///< Zero length, bad JSON, or a non-object root.
+  IoError,   ///< Short read mid-frame or a socket error.
+};
+
+/// Printable name of \p R ("ok", "eof", "too-large", "malformed",
+/// "io-error").
+const char *getFrameReadName(FrameRead R);
+
+/// Reads one length-prefixed frame from \p Fd into \p Out. Blocks until
+/// a full frame (or failure). On TooLarge the oversized payload is left
+/// unread — the caller should answer and close, since the stream is no
+/// longer in sync. \p Error (optional) gets a one-line reason for any
+/// non-Ok outcome.
+FrameRead readFrame(int Fd, uint32_t MaxBytes, json::Value &Out,
+                    std::string *Error = nullptr);
+
+/// Serializes \p V and writes it as one frame. False on any write error
+/// (the connection is then unusable).
+bool writeFrame(int Fd, const json::Value &V);
+
+/// `{"ok": true}` — extend with op-specific members.
+json::Value makeOk();
+
+/// `{"ok": false, "error": code, "message": message}`. Codes are stable
+/// wire strings: "malformed", "too-large", "busy", "unknown-op",
+/// "parse", "invalid-program", "verify-rejected", "shutting-down".
+json::Value makeError(const std::string &Code, const std::string &Message);
+
+} // namespace serve
+} // namespace alf
+
+#endif // ALF_SERVE_PROTOCOL_H

@@ -64,6 +64,54 @@ void ThreadPool::workerLoop(unsigned Worker) {
   }
 }
 
+TaskQueue::TaskQueue(unsigned NumThreads) {
+  NumThreads = std::max(1u, NumThreads);
+  Workers.reserve(NumThreads);
+  for (unsigned W = 0; W < NumThreads; ++W)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+TaskQueue::~TaskQueue() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  JobReady.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+void TaskQueue::submit(std::function<void()> Job) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Jobs.push_back(std::move(Job));
+  }
+  JobReady.notify_one();
+}
+
+size_t TaskQueue::pending() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Jobs.size();
+}
+
+void TaskQueue::workerLoop() {
+  for (;;) {
+    std::function<void()> Job;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      // Workers only exit once the queue is empty, so destruction drains
+      // every job already submitted (waiters on a queued compile would
+      // otherwise hang forever).
+      JobReady.wait(Lock, [&] { return Stopping || !Jobs.empty(); });
+      if (Jobs.empty())
+        return;
+      Job = std::move(Jobs.front());
+      Jobs.pop_front();
+    }
+    Job();
+  }
+}
+
 void ThreadPool::parallelFor(int64_t Begin, int64_t End, const ChunkBody &Body) {
   if (Begin >= End)
     return;

@@ -21,6 +21,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -84,6 +85,50 @@ private:
   int64_t JobBegin = 0;
   int64_t JobEnd = 0;
   const ChunkBody *JobBody = nullptr;
+};
+
+/// A FIFO job queue drained by a fixed set of dedicated workers — the
+/// asynchronous counterpart of ThreadPool (which is a fork/join
+/// primitive and unsuitable for fire-and-forget work). The serving
+/// layer uses one as its compile queue: expensive kernel compiles are
+/// submitted here so they are bounded to NumThreads at a time and never
+/// run on (or block) the threads answering warm execution requests.
+///
+/// Thread-safety contract: submit() may be called from any thread,
+/// including from inside a running job. Jobs run in submission order
+/// when NumThreads == 1; with more workers only the dequeue order is
+/// FIFO. The destructor drains the queue: every job submitted before
+/// destruction begins is run to completion, then the workers join — so
+/// a job's captured state may safely outlive the submitting thread but
+/// must outlive the queue.
+class TaskQueue {
+public:
+  /// Spawns \p NumThreads dedicated workers (at least one).
+  explicit TaskQueue(unsigned NumThreads = 1);
+
+  /// Drains every queued job, then joins the workers.
+  ~TaskQueue();
+
+  TaskQueue(const TaskQueue &) = delete;
+  TaskQueue &operator=(const TaskQueue &) = delete;
+
+  /// Enqueues \p Job to run on some worker. Never blocks on job
+  /// execution (only on the queue mutex).
+  void submit(std::function<void()> Job);
+
+  /// Jobs enqueued but not yet started (a snapshot; racy by nature).
+  size_t pending() const;
+
+  unsigned numThreads() const { return static_cast<unsigned>(Workers.size()); }
+
+private:
+  void workerLoop();
+
+  mutable std::mutex Mutex;
+  std::condition_variable JobReady;
+  std::deque<std::function<void()>> Jobs;
+  std::vector<std::thread> Workers;
+  bool Stopping = false;
 };
 
 } // namespace alf

@@ -13,6 +13,7 @@
 #include "exec/Interpreter.h"
 #include "ir/Normalize.h"
 #include "scalarize/Scalarize.h"
+#include "xform/IlpStrategy.h"
 
 #include "TestPrograms.h"
 
@@ -91,6 +92,90 @@ TEST(PipelineTest, StrategyAndAsdgAreServedFromSharedAnalysis) {
   RunResult Res = PL.run(LP, ExecMode::Sequential, 3);
   std::string Why;
   EXPECT_TRUE(resultsMatch(run(LP, 3), Res, 0.0, &Why)) << Why;
+}
+
+TEST(TryCompileTest, OkProducesStatusWithArtifactAndStrategy) {
+  auto P = tp::makeUserTempPair();
+  Pipeline PL(*P);
+  CompileRequest Req;
+  Req.Strat = Strategy::C2;
+  CompileStatus St = PL.tryCompile(Req);
+  EXPECT_EQ(St.Code, CompileCode::Ok);
+  EXPECT_TRUE(St.ok());
+  EXPECT_TRUE(St.Message.empty());
+  ASSERT_TRUE(St.SR.has_value());
+  ASSERT_TRUE(St.Artifact.has_value());
+  EXPECT_EQ(St.Artifact->NumClusters, St.SR->Partition.numClusters());
+
+  // The artifact is the same loop program the legacy facade produces.
+  auto Q = tp::makeUserTempPair();
+  Pipeline PL2(*Q);
+  EXPECT_EQ(St.Artifact->LP.str(), PL2.scalarize(Strategy::C2).str());
+}
+
+TEST(TryCompileTest, ReentrantAcrossStrategies) {
+  auto P = tp::makeTomcatvFragment();
+  Pipeline PL(*P);
+  for (Strategy S : allStrategies()) {
+    CompileRequest Req;
+    Req.Strat = S;
+    CompileStatus St = PL.tryCompile(Req);
+    EXPECT_TRUE(St.ok()) << getStrategyName(S) << ": " << St.Message;
+    ASSERT_TRUE(St.Artifact.has_value());
+  }
+}
+
+TEST(TryCompileTest, InvalidProgramIsAStatusNotAnAbort) {
+  // Unnormalized Tomcatv reads and writes Rx/Ry in one statement —
+  // normal-form condition (i). With the pipeline's own normalization
+  // off, tryCompile must report it instead of dying.
+  auto P = tp::makeTomcatvFragment();
+  PipelineOptions Opts;
+  Opts.Normalize = false;
+  Pipeline PL(*P, Opts);
+  CompileStatus St = PL.tryCompile(CompileRequest());
+  EXPECT_EQ(St.Code, CompileCode::InvalidProgram);
+  EXPECT_FALSE(St.ok());
+  EXPECT_FALSE(St.Message.empty());
+  EXPECT_FALSE(St.Artifact.has_value());
+}
+
+TEST(TryCompileTest, VerifyRejectedOnACorruptedSolver) {
+  auto P = tp::makeTomcatvFragment();
+  PipelineOptions Opts;
+  Opts.Verify = verify::VerifyLevel::Full;
+  Pipeline PL(*P, Opts);
+  xform::setIlpCorruptionForTest(true);
+  CompileRequest Req;
+  Req.Strat = Strategy::IlpOptimal;
+  CompileStatus St = PL.tryCompile(Req);
+  xform::setIlpCorruptionForTest(false);
+  EXPECT_EQ(St.Code, CompileCode::VerifyRejected);
+  EXPECT_FALSE(St.Message.empty());
+  EXPECT_FALSE(St.Findings.ok());
+  EXPECT_STREQ(getCompileCodeName(St.Code), "verify-rejected");
+}
+
+TEST(TryCompileTest, CompileCodeNamesAreStableWireStrings) {
+  EXPECT_STREQ(getCompileCodeName(CompileCode::Ok), "ok");
+  EXPECT_STREQ(getCompileCodeName(CompileCode::InvalidProgram),
+               "invalid-program");
+  EXPECT_STREQ(getCompileCodeName(CompileCode::VerifyRejected),
+               "verify-rejected");
+}
+
+TEST(TryCompileTest, LegacyCompileWrapperStillRunsOnVerifyError) {
+  auto P = tp::makeTomcatvFragment();
+  PipelineOptions Opts;
+  Opts.Verify = verify::VerifyLevel::Full;
+  unsigned Calls = 0;
+  Opts.OnVerifyError = [&Calls](const verify::VerifyReport &) { ++Calls; };
+  Pipeline PL(*P, Opts);
+  xform::setIlpCorruptionForTest(true);
+  CompiledProgram CP = PL.compile(Strategy::IlpOptimal);
+  xform::setIlpCorruptionForTest(false);
+  EXPECT_EQ(Calls, 1u); // handler fired instead of a fatal error
+  EXPECT_GE(CP.NumClusters, 1u);
 }
 
 TEST(PipelineTest, OneShotRunProgram) {

@@ -9,8 +9,8 @@
 //
 // Usage: alf_bench [--out=BENCH_5.json] [--compare=baseline.json]
 //                  [--tolerance=2.0] [--repeat=5] [--reduced]
-//                  [--filter=substr] [--trace=out.json] [--list]
-//                  [--selftest]
+//                  [--filter=substr] [--trace=out.json] [--metrics]
+//                  [--list] [--selftest]
 //
 // The suite, its names and its seeds are pinned: two runs of the same
 // binary execute exactly the same work, so medians are comparable run
@@ -25,6 +25,8 @@
 // schema; CI runs it so the schema stays load-bearing.
 //
 //===----------------------------------------------------------------------===//
+
+#include "ToolOptions.h"
 
 #include "analysis/ASDG.h"
 #include "benchprogs/Benchmarks.h"
@@ -563,14 +565,25 @@ int compareAgainst(const json::Value &Current, const std::string &Path,
 int main(int argc, char **argv) {
   std::string OutFile = "BENCH_5.json";
   std::string CompareFile;
-  std::string TraceFile;
   std::string Filter;
   double Tolerance = 2.0;
   unsigned Repeats = 5;
   bool Reduced = false, List = false, SelfTest = false;
+  constexpr unsigned BenchFlags = tool::TF_Trace | tool::TF_Metrics;
+  tool::ToolOptions TO;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
+    std::string FlagError;
+    switch (tool::parseToolFlag(Arg, BenchFlags, TO, FlagError)) {
+    case tool::FlagParse::Consumed:
+      continue;
+    case tool::FlagParse::Error:
+      std::cerr << "alf_bench: " << FlagError << '\n';
+      return 2;
+    case tool::FlagParse::NotMine:
+      break;
+    }
     if (Arg.rfind("--out=", 0) == 0)
       OutFile = Arg.substr(6);
     else if (Arg.rfind("--compare=", 0) == 0)
@@ -581,8 +594,6 @@ int main(int argc, char **argv) {
       Repeats = static_cast<unsigned>(std::atoi(Arg.c_str() + 9));
     else if (Arg.rfind("--filter=", 0) == 0)
       Filter = Arg.substr(9);
-    else if (Arg.rfind("--trace=", 0) == 0)
-      TraceFile = Arg.substr(8);
     else if (Arg == "--reduced")
       Reduced = true;
     else if (Arg == "--list")
@@ -593,7 +604,8 @@ int main(int argc, char **argv) {
       std::cerr << "usage: alf_bench [--out=BENCH_5.json] "
                    "[--compare=baseline.json] [--tolerance=X] "
                    "[--repeat=N] [--reduced] [--filter=substr] "
-                   "[--trace=out.json] [--list] [--selftest]\n";
+                   "[--list] [--selftest]\n"
+                << tool::toolFlagsHelp(BenchFlags);
       return 2;
     }
   }
@@ -620,10 +632,11 @@ int main(int argc, char **argv) {
     return 2;
   }
 
-  // Metrics aggregate across the whole suite; the obs.* pair overrides
-  // the level locally through ScopedLevel.
-  obs::setLevel(TraceFile.empty() ? obs::ObsLevel::Counters
-                                  : obs::ObsLevel::Trace);
+  // Metrics aggregate across the whole suite (the JSON always embeds
+  // them, so the level is at least Counters regardless of --metrics);
+  // the obs.* pair overrides the level locally through ScopedLevel.
+  obs::setLevel(TO.TraceFile.empty() ? obs::ObsLevel::Counters
+                                     : obs::ObsLevel::Trace);
   obs::reset();
 
   std::vector<CaseResult> Results;
@@ -652,14 +665,11 @@ int main(int argc, char **argv) {
   }
   std::cout << "wrote " << OutFile << '\n';
 
-  if (!TraceFile.empty()) {
-    if (!obs::writeChromeTraceFile(TraceFile)) {
-      std::cerr << "alf_bench: cannot write trace to " << TraceFile << '\n';
-      return 1;
-    }
+  if (!tool::emitObsOutputs(TO, std::cout, std::cerr, "alf_bench"))
+    return 1;
+  if (!TO.TraceFile.empty())
     std::cout << "trace: " << obs::numTraceEvents() << " events -> "
-              << TraceFile << '\n';
-  }
+              << TO.TraceFile << '\n';
 
   if (SelfTest) {
     std::ifstream In(OutFile);

@@ -40,6 +40,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "ToolOptions.h"
+
 #include "comm/CommInsertion.h"
 #include "distsim/DistInterpreter.h"
 #include "driver/Pipeline.h"
@@ -136,66 +138,43 @@ bool checkEmittedC(const lir::LoopProgram &LP, uint64_t Seed,
 
 int main(int argc, char **argv) {
   unsigned Count = 50;
-  uint64_t Seed = 1;
   unsigned Procs = 4;
   unsigned Threads = 4;
   bool EmitC = false;
-  bool Metrics = false;
-  std::string TraceFile;
-  ExecMode Mode = ExecMode::Sequential;
-  std::optional<Strategy> OnlyStrategy;
-  verify::VerifyLevel VerifyLevel = verify::VerifyLevel::Full;
+  tool::ToolOptions TO; // --seed/--exec/--strategy/--verify/--trace/--metrics
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
+    std::string FlagError;
+    switch (tool::parseToolFlag(Arg, tool::TF_All, TO, FlagError)) {
+    case tool::FlagParse::Consumed:
+      continue;
+    case tool::FlagParse::Error:
+      std::cerr << FlagError << '\n';
+      return 2;
+    case tool::FlagParse::NotMine:
+      break;
+    }
     if (Arg.rfind("--count=", 0) == 0)
       Count = static_cast<unsigned>(std::atoi(Arg.c_str() + 8));
-    else if (Arg.rfind("--seed=", 0) == 0)
-      Seed = static_cast<uint64_t>(std::atoll(Arg.c_str() + 7));
     else if (Arg.rfind("--procs=", 0) == 0)
       Procs = static_cast<unsigned>(std::atoi(Arg.c_str() + 8));
     else if (Arg.rfind("--threads=", 0) == 0)
       Threads = static_cast<unsigned>(std::atoi(Arg.c_str() + 10));
     else if (Arg == "--emit-c")
       EmitC = true;
-    else if (Arg.rfind("--exec=", 0) == 0) {
-      std::optional<ExecMode> M = execModeNamed(Arg.substr(7));
-      if (!M) {
-        std::cerr << "unknown execution mode '" << Arg.substr(7) << "'\n";
-        return 2;
-      }
-      Mode = *M;
-    } else if (Arg.rfind("--strategy=", 0) == 0) {
-      OnlyStrategy = strategyNamed(Arg.substr(11));
-      if (!OnlyStrategy) {
-        std::cerr << "unknown strategy '" << Arg.substr(11) << "'\n";
-        return 2;
-      }
-    } else if (Arg.rfind("--verify=", 0) == 0) {
-      std::optional<verify::VerifyLevel> L =
-          verify::verifyLevelNamed(Arg.substr(9));
-      if (!L) {
-        std::cerr << "unknown verification level '" << Arg.substr(9) << "'\n";
-        return 2;
-      }
-      VerifyLevel = *L;
-    } else if (Arg.rfind("--trace=", 0) == 0) {
-      TraceFile = Arg.substr(8);
-    } else if (Arg == "--metrics") {
-      Metrics = true;
-    } else {
-      std::cerr << "usage: alf_stress [--count=N] [--seed=S] [--procs=P] "
-                   "[--threads=T] [--emit-c] "
-                   "[--exec=sequential|parallel|jit] [--strategy=NAME] "
-                   "[--verify=off|structural|full] "
-                   "[--trace=out.json] [--metrics]\n";
+    else {
+      std::cerr << "usage: alf_stress [--count=N] [--procs=P] [--threads=T] "
+                   "[--emit-c]\n"
+                << tool::toolFlagsHelp(tool::TF_All);
       return 2;
     }
   }
+  uint64_t Seed = TO.Seed;
+  ExecMode Mode = TO.Exec.value_or(ExecMode::Sequential);
+  std::optional<Strategy> OnlyStrategy = TO.Strat;
+  verify::VerifyLevel VerifyLevel = TO.Verify;
 
-  if (!TraceFile.empty())
-    obs::setLevel(obs::ObsLevel::Trace);
-  else if (Metrics && obs::level() == obs::ObsLevel::Off)
-    obs::setLevel(obs::ObsLevel::Counters);
+  tool::applyObsLevel(TO);
 
   bool HaveCC = EmitC && std::system("cc --version > /dev/null 2>&1") == 0;
   if (EmitC && !HaveCC)
@@ -230,23 +209,36 @@ int main(int argc, char **argv) {
     auto P = generateRandomProgram(Cfg);
     driver::PipelineOptions PO;
     PO.Verify = VerifyLevel;
-    PO.OnVerifyError = [&P](const verify::VerifyReport &R) {
-      fail(*P, "verification failed: " + R.Findings.front().str());
-    };
     driver::Pipeline PL(*P, PO);
     if (!isWellFormed(PL.program()))
       fail(*P, "normalized program failed verification");
     ++S.Programs;
 
+    // Every compile goes through the status-returning entry point: a
+    // rejected proof surfaces as CompileStatus instead of aborting, so
+    // the offending program can be printed for reproduction.
+    auto compileOrFail = [&](Strategy Strat) -> driver::CompileStatus {
+      driver::CompileRequest Req;
+      Req.Strat = Strat;
+      driver::CompileStatus St = PL.tryCompile(Req);
+      if (!St.ok() || !St.Artifact || !St.SR)
+        fail(*P, (St.Code == driver::CompileCode::VerifyRejected
+                      ? "verification failed: "
+                      : "compile failed: ") +
+                     St.Message);
+      return St;
+    };
+
+    driver::CompileStatus BaseSt = compileOrFail(Strategy::Baseline);
     const ASDG &G = PL.asdg();
-    auto Base = PL.scalarize(Strategy::Baseline);
-    RunResult BaseRes = run(Base, ProgSeed ^ 0xfeed);
+    RunResult BaseRes = run(BaseSt.Artifact->LP, ProgSeed ^ 0xfeed);
 
     std::vector<Strategy> Strategies = allStrategies();
     if (OnlyStrategy)
       Strategies = {*OnlyStrategy};
     for (Strategy Strat : Strategies) {
-      StrategyResult SR = PL.strategy(Strat);
+      driver::CompileStatus St = compileOrFail(Strat);
+      const StrategyResult &SR = *St.SR;
       if (!isValidPartition(SR.Partition))
         fail(*P, formatString("invalid partition under %s",
                               getStrategyName(Strat)));
@@ -266,7 +258,7 @@ int main(int argc, char **argv) {
         if (IlpBytes > GreedyBytes)
           ++S.IlpImprovements;
       }
-      auto LP = PL.scalarize(SR);
+      const lir::LoopProgram &LP = St.Artifact->LP;
       std::string Why;
       if (!resultsMatch(BaseRes, run(LP, ProgSeed ^ 0xfeed), 0.0, &Why))
         fail(*P, formatString("%s diverged: %s", getStrategyName(Strat),
@@ -392,15 +384,10 @@ int main(int argc, char **argv) {
               << " memory hits, "
               << getStatisticValue("jit", "NumJitCacheDiskHits")
               << " disk hits; cache: " << Jit->cacheDir() << ")\n";
-  if (Metrics)
-    obs::writeMetricsTable(std::cout);
-  if (!TraceFile.empty()) {
-    if (!obs::writeChromeTraceFile(TraceFile)) {
-      std::cerr << "cannot write trace to " << TraceFile << '\n';
-      return 1;
-    }
+  if (!tool::emitObsOutputs(TO, std::cout, std::cerr, "alf_stress"))
+    return 1;
+  if (!TO.TraceFile.empty())
     std::cout << "trace: " << obs::numTraceEvents() << " events -> "
-              << TraceFile << '\n';
-  }
+              << TO.TraceFile << '\n';
   return 0;
 }
