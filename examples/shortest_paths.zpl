@@ -1,0 +1,88 @@
+-- All-pairs shortest paths (Floyd-Warshall) in mini-ZPL, computed in
+-- the tropical min-plus semiring. The 4-node distance matrix is kept
+-- as four persistent row arrays d1..d4; per pivot k and row i:
+--
+--   [k..k] sk_i := min << di;        -- extract d_i[k] (exact singleton)
+--   [Row]  tk_i := sk_i + dk;        -- candidate path through pivot k
+--   [Row]  di   := min(di, tk_i);    -- elementwise relax
+--
+-- Every tk_i candidate row is a contractible temporary, so under the
+-- default c2 strategy all 16 of them vanish into the fused nests and
+-- only the four persistent rows remain. --semiring=min-plus pins the
+-- reduction algebra explicitly (min << already canonicalizes to it);
+-- see DESIGN.md section 15.
+--
+--   ./build/examples/zplc examples/shortest_paths.zpl --semiring=min-plus --exec=jit --stats
+
+region Row : [1..4];
+region P1 : [1..1];
+region P2 : [2..2];
+region P3 : [3..3];
+region P4 : [4..4];
+
+array d1, d2, d3, d4 : Row;
+scalar s1_1, s1_2, s1_3, s1_4;
+scalar s2_1, s2_2, s2_3, s2_4;
+scalar s3_1, s3_2, s3_3, s3_4;
+scalar s4_1, s4_2, s4_3, s4_4;
+array t1_1, t1_2, t1_3, t1_4 : Row temp;
+array t2_1, t2_2, t2_3, t2_4 : Row temp;
+array t3_1, t3_2, t3_3, t3_4 : Row temp;
+array t4_1, t4_2, t4_3, t4_4 : Row temp;
+
+-- pivot 1
+[P1] s1_1 := min << d1;
+[Row] t1_1 := s1_1 + d1;
+[Row] d1 := min(d1, t1_1);
+[P1] s1_2 := min << d2;
+[Row] t1_2 := s1_2 + d1;
+[Row] d2 := min(d2, t1_2);
+[P1] s1_3 := min << d3;
+[Row] t1_3 := s1_3 + d1;
+[Row] d3 := min(d3, t1_3);
+[P1] s1_4 := min << d4;
+[Row] t1_4 := s1_4 + d1;
+[Row] d4 := min(d4, t1_4);
+
+-- pivot 2
+[P2] s2_1 := min << d1;
+[Row] t2_1 := s2_1 + d2;
+[Row] d1 := min(d1, t2_1);
+[P2] s2_2 := min << d2;
+[Row] t2_2 := s2_2 + d2;
+[Row] d2 := min(d2, t2_2);
+[P2] s2_3 := min << d3;
+[Row] t2_3 := s2_3 + d2;
+[Row] d3 := min(d3, t2_3);
+[P2] s2_4 := min << d4;
+[Row] t2_4 := s2_4 + d2;
+[Row] d4 := min(d4, t2_4);
+
+-- pivot 3
+[P3] s3_1 := min << d1;
+[Row] t3_1 := s3_1 + d3;
+[Row] d1 := min(d1, t3_1);
+[P3] s3_2 := min << d2;
+[Row] t3_2 := s3_2 + d3;
+[Row] d2 := min(d2, t3_2);
+[P3] s3_3 := min << d3;
+[Row] t3_3 := s3_3 + d3;
+[Row] d3 := min(d3, t3_3);
+[P3] s3_4 := min << d4;
+[Row] t3_4 := s3_4 + d3;
+[Row] d4 := min(d4, t3_4);
+
+-- pivot 4
+[P4] s4_1 := min << d1;
+[Row] t4_1 := s4_1 + d4;
+[Row] d1 := min(d1, t4_1);
+[P4] s4_2 := min << d2;
+[Row] t4_2 := s4_2 + d4;
+[Row] d2 := min(d2, t4_2);
+[P4] s4_3 := min << d3;
+[Row] t4_3 := s4_3 + d4;
+[Row] d3 := min(d3, t4_3);
+[P4] s4_4 := min << d4;
+[Row] t4_4 := s4_4 + d4;
+[Row] d4 := min(d4, t4_4);
+

@@ -9,6 +9,7 @@
 //                [--dump-asdg] [--dump-source] [--emit-c] [--emit-f77]
 //                [--explain] [--stats] [--simulate] [--lint]
 //                [--exec=sequential|parallel|jit] [--seed=S]
+//                [--semiring=plus-times|min-plus|max-times|max-plus|or-and]
 //                [--verify=off|structural|full]
 //                [--trace=out.json] [--metrics]
 //
@@ -158,6 +159,13 @@ int main(int argc, char **argv) {
     return 1;
   }
   ir::Program &P = *Result.Prog;
+
+  // --semiring rebinds every reduction's algebra before any analysis
+  // runs, so the override flows through strategy, verify and execution.
+  if (TO.SemiringSel)
+    for (unsigned Id = 0; Id < P.numStmts(); ++Id)
+      if (auto *RS = dyn_cast<ir::ReduceStmt>(P.getStmt(Id)))
+        RS->setSemiring(*TO.SemiringSel);
 
   if (Lint) {
     // Lint looks at the program exactly as written (pre-normalization,

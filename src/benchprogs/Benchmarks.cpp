@@ -346,6 +346,131 @@ std::unique_ptr<Program> benchprogs::buildFibro(int64_t N) {
   return P;
 }
 
+//===----------------------------------------------------------------------===//
+// Semiring workload zoo. Not from the paper's Figure 7 — these exercise
+// the semiring-generalized contraction path with the classic non-(+,×)
+// kernels, in the same normal form the six paper benchmarks use. The
+// "Paper*" census fields hold the expected (regression-anchored) values
+// instead of published ones.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Shared skeleton of the two pivot-sweep kernels (Floyd–Warshall and
+/// transitive closure): an N-node adjacency structure kept as N rank-1
+/// persistent row arrays. Per pivot k and row i, in the exact iteration
+/// order of the reference triple loop:
+///   (a) [k..k] s := ⊕<< row_i          extract D[i][k] (singleton, exact)
+///   (b) [R]    t := s ⊗ row_k          the candidate through the pivot
+///   (c) [R]    row_i := row_i ⊕ t      elementwise relax
+/// The t temporaries are contractible user arrays; the singleton extract
+/// blocks fusion of (a) into (b) via a scalar flow dependence, keeping
+/// the update ordered exactly as the reference.
+std::unique_ptr<Program>
+buildPivotSweep(const char *Name, int64_t N, const semiring::Semiring &SR,
+                std::function<ExprPtr(ExprPtr, ExprPtr)> Otimes,
+                std::function<ExprPtr(ExprPtr, ExprPtr)> Oplus) {
+  auto P = std::make_unique<Program>(Name);
+  const Region *R = P->regionFromExtents({N});
+  std::vector<ArraySymbol *> Row;
+  for (int64_t I = 0; I < N; ++I)
+    Row.push_back(P->makeArray(formatString("d%lld", static_cast<long long>(I)),
+                               1));
+  for (int64_t K = 0; K < N; ++K) {
+    const Region *Pivot = P->internRegion(Region({K + 1}, {K + 1}));
+    for (int64_t I = 0; I < N; ++I) {
+      ScalarSymbol *S = P->makeScalar(
+          formatString("s_%lld_%lld", static_cast<long long>(K),
+                       static_cast<long long>(I)));
+      P->reduce(Pivot, S, SR, aref(Row[I]));
+      ArraySymbol *T = P->makeUserTemp(
+          formatString("t_%lld_%lld", static_cast<long long>(K),
+                       static_cast<long long>(I)),
+          1);
+      P->assign(R, T, Otimes(sref(S), aref(Row[K])));
+      P->assign(R, Row[I], Oplus(aref(Row[I]), aref(T)));
+    }
+  }
+  return P;
+}
+
+} // namespace
+
+std::unique_ptr<Program> benchprogs::buildFloydWarshall(int64_t N) {
+  // Min-plus: D[i][j] = min(D[i][j], D[i][k] + D[k][j]).
+  return buildPivotSweep("FloydWarshall", N, semiring::minPlus(),
+                         [](ExprPtr A, ExprPtr B) {
+                           return add(std::move(A), std::move(B));
+                         },
+                         [](ExprPtr A, ExprPtr B) {
+                           return emin(std::move(A), std::move(B));
+                         });
+}
+
+std::unique_ptr<Program> benchprogs::buildTransitiveClosure(int64_t N) {
+  // Or-and: R[i][j] = R[i][j] ∨ (R[i][k] ∧ R[k][j]). On the {0,1}
+  // carrier, × is exactly ∧ and elementwise max is exactly ∨, so the
+  // whole kernel stays in normal form without boolean expression ops.
+  return buildPivotSweep("Closure", N, semiring::orAnd(),
+                         [](ExprPtr A, ExprPtr B) {
+                           return mul(std::move(A), std::move(B));
+                         },
+                         [](ExprPtr A, ExprPtr B) {
+                           return emax(std::move(A), std::move(B));
+                         });
+}
+
+std::unique_ptr<Program> benchprogs::buildKnn(int64_t N) {
+  // Max-times best-match scoring: squared features (nonnegative, the
+  // max-times carrier) scaled per class, each class's best score taken
+  // with a max-times reduction. Every temporary is contractible, so the
+  // whole zoo program reduces to scalars like EP does.
+  auto P = std::make_unique<Program>("Knn");
+  const Region *R = P->regionFromExtents({N});
+  ArraySymbol *F = P->makeArray("f", 1);
+  ArraySymbol *G = P->makeUserTemp("g", 1);
+  P->assign(R, G, mul(aref(F), aref(F)));
+  for (unsigned C = 0; C < 5; ++C) {
+    ArraySymbol *T = P->makeUserTemp(formatString("t%u", C), 1);
+    P->assign(R, T, mul(aref(G), cst(0.25 * (C + 1))));
+    ScalarSymbol *S = P->makeScalar(formatString("best%u", C));
+    P->reduce(R, S, semiring::maxTimes(), aref(T));
+  }
+  return P;
+}
+
+const std::vector<BenchmarkInfo> &benchprogs::zooBenchmarks() {
+  static std::vector<BenchmarkInfo> All = [] {
+    // The census fields are expected values at N = 8 (regression anchor,
+    // nothing published): the 64 per-(pivot,row) candidate temporaries
+    // plus the 64 normalization temporaries of the self-referencing
+    // relax statements all contract away, leaving the 8 persistent rows.
+    std::vector<BenchmarkInfo> B(3);
+    B[0].Name = "FloydWarshall";
+    B[0].Rank = 1;
+    B[0].PaperStaticBefore = 136;
+    B[0].PaperCompilerBefore = 64;
+    B[0].PaperStaticAfter = 8;
+    B[0].Build = buildFloydWarshall;
+
+    B[1].Name = "Closure";
+    B[1].Rank = 1;
+    B[1].PaperStaticBefore = 136;
+    B[1].PaperCompilerBefore = 64;
+    B[1].PaperStaticAfter = 8;
+    B[1].Build = buildTransitiveClosure;
+
+    B[2].Name = "Knn";
+    B[2].Rank = 1;
+    B[2].PaperStaticBefore = 7;
+    B[2].PaperCompilerBefore = 0;
+    B[2].PaperStaticAfter = 1;
+    B[2].Build = buildKnn;
+    return B;
+  }();
+  return All;
+}
+
 const std::vector<BenchmarkInfo> &benchprogs::allBenchmarks() {
   static std::vector<BenchmarkInfo> All = [] {
     std::vector<BenchmarkInfo> B(6);

@@ -56,6 +56,13 @@ struct BenchmarkInfo {
 /// EP, Frac, SP, Tomcatv, Simple, Fibro.
 const std::vector<BenchmarkInfo> &allBenchmarks();
 
+/// The semiring workload zoo (not in the paper's figures): classic
+/// non-(+,×) contraction kernels — Floyd–Warshall (min-plus), transitive
+/// closure (or-and), k-NN-style best-score (max-times). A separate
+/// registry so the pinned alf_bench suite and positional uses of
+/// allBenchmarks() stay stable.
+const std::vector<BenchmarkInfo> &zooBenchmarks();
+
 /// Individual builders (pre-normalization).
 std::unique_ptr<ir::Program> buildEP(int64_t N);
 std::unique_ptr<ir::Program> buildFrac(int64_t N);
@@ -63,6 +70,12 @@ std::unique_ptr<ir::Program> buildSP(int64_t N);
 std::unique_ptr<ir::Program> buildTomcatv(int64_t N);
 std::unique_ptr<ir::Program> buildSimple(int64_t N);
 std::unique_ptr<ir::Program> buildFibro(int64_t N);
+
+/// Zoo builders: N nodes (Floyd–Warshall / closure) or N feature
+/// elements (k-NN).
+std::unique_ptr<ir::Program> buildFloydWarshall(int64_t N);
+std::unique_ptr<ir::Program> buildTransitiveClosure(int64_t N);
+std::unique_ptr<ir::Program> buildKnn(int64_t N);
 
 } // namespace benchprogs
 } // namespace alf

@@ -249,8 +249,7 @@ void runNestOnProc(const LoopNest &Nest, DistContext &Ctx, ProcState &Proc) {
         double V = evalExpr(S.RHS.get(), Ctx, Proc, Idx);
         if (S.LHS.isScalar()) {
           if (S.Accumulate)
-            V = ReduceStmt::combine(S.AccOp,
-                                    Ctx.readScalar(S.LHS.Scalar), V);
+            V = S.SR->combine(Ctx.readScalar(S.LHS.Scalar), V);
           Ctx.Scalars[S.LHS.Scalar] = V;
           continue;
         }
@@ -364,21 +363,20 @@ RunResult distsim::runDistributed(const LoopProgram &LP, const ProcGrid &Grid,
   for (const auto &NodePtr : LP.nodes()) {
     if (const auto *Nest = dyn_cast<LoopNest>(NodePtr.get())) {
       // Reductions: per-processor partials combined in rank order.
-      std::map<const ScalarSymbol *, ReduceStmt::ReduceOpKind> AccOps;
+      std::map<const ScalarSymbol *, const semiring::Semiring *> AccSRs;
       for (const ScalarStmt &S : Nest->Body)
         if (S.Accumulate)
-          AccOps[S.LHS.Scalar] = S.AccOp;
+          AccSRs[S.LHS.Scalar] = S.SR;
       std::map<const ScalarSymbol *, double> Totals;
-      for (const auto &[Acc, Op] : AccOps)
-        Totals[Acc] = ReduceStmt::identity(Op);
+      for (const auto &[Acc, SR] : AccSRs)
+        Totals[Acc] = SR->PlusIdentity;
 
       for (ProcState &Proc : Ctx.Procs) {
-        for (const auto &[Acc, Op] : AccOps)
-          Ctx.Scalars[Acc] = ReduceStmt::identity(Op);
+        for (const auto &[Acc, SR] : AccSRs)
+          Ctx.Scalars[Acc] = SR->PlusIdentity;
         runNestOnProc(*Nest, Ctx, Proc);
-        for (const auto &[Acc, Op] : AccOps)
-          Totals[Acc] =
-              ReduceStmt::combine(Op, Totals[Acc], Ctx.readScalar(Acc));
+        for (const auto &[Acc, SR] : AccSRs)
+          Totals[Acc] = SR->combine(Totals[Acc], Ctx.readScalar(Acc));
       }
       for (const auto &[Acc, Total] : Totals)
         Ctx.Scalars[Acc] = Total;

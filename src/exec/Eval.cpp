@@ -51,7 +51,7 @@ void exec::execScalarStmt(const ScalarStmt &S, EvalContext &Ctx,
   double V = evalExpr(S.RHS.get(), Ctx, Idx);
   if (S.LHS.isScalar()) {
     if (S.Accumulate)
-      V = ReduceStmt::combine(S.AccOp, Ctx.readScalar(S.LHS.Scalar), V);
+      V = S.SR->combine(Ctx.readScalar(S.LHS.Scalar), V);
     Ctx.writeScalar(S.LHS.Scalar, V);
     return;
   }

@@ -452,7 +452,7 @@ private:
     if (!expect(TokenKind::Assign, "':='"))
       return syncToSemi();
 
-    // Reduction: '+' '<<' | 'min' '<<' | 'max' '<<'.
+    // Reduction: '+' '<<' | 'min' '<<' | 'max' '<<' | 'or' '<<'.
     std::optional<ReduceStmt::ReduceOpKind> RedOp;
     if (at(TokenKind::Plus) && peek(1).Kind == TokenKind::Reduce)
       RedOp = ReduceStmt::ReduceOpKind::Sum;
@@ -461,6 +461,8 @@ private:
         RedOp = ReduceStmt::ReduceOpKind::Min;
       else if (peek().Text == "max")
         RedOp = ReduceStmt::ReduceOpKind::Max;
+      else if (peek().Text == "or")
+        RedOp = ReduceStmt::ReduceOpKind::Or;
     }
     if (RedOp) {
       advance(); // the operator

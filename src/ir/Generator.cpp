@@ -83,6 +83,20 @@ std::unique_ptr<Program> ir::generateRandomProgram(const GeneratorConfig &Cfg) {
       P->assign(R, LHS, std::move(E));
   }
 
+  // Reductions over the arrays just defined: every accumulator reads one
+  // random reference (plus a damped second term) so the scalarized
+  // accumulation exercises the semiring's ⊕ fold on every backend.
+  const semiring::Semiring &SR =
+      Cfg.ReduceSemiring ? *Cfg.ReduceSemiring : semiring::plusTimes();
+  for (unsigned I = 0; I < Cfg.NumReduce; ++I) {
+    ScalarSymbol *Acc = P->makeScalar(formatString("s%u", I));
+    ExprPtr Body = aref(AnyArray(Rng), RandomOffset(Rng));
+    if (Rng.nextBounded(2) == 0)
+      Body = add(std::move(Body),
+                 mul(aref(AnyArray(Rng), RandomOffset(Rng)), cst(0.5)));
+    P->reduce(R1, Acc, SR, std::move(Body));
+  }
+
   if (Cfg.AddOpaque && !Persistent.empty()) {
     P->opaque("checksum", R1, {Persistent.front()},
               {Persistent.back()}, {}, {}, 2.0,

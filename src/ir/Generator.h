@@ -35,6 +35,12 @@ struct GeneratorConfig {
   bool AllowTargetOffsets = false; ///< emit `A@d := ...` targets
   bool UseTwoRegions = false; ///< mix two region sizes (blocks some fusion)
   bool AddOpaque = false;     ///< append an opaque consumer statement
+
+  /// When nonzero, append that many full reductions `[R] sK := ⊕<< ...`
+  /// over the generated arrays, folding with \p ReduceSemiring (null
+  /// means the canonical plus-times).
+  unsigned NumReduce = 0;
+  const semiring::Semiring *ReduceSemiring = nullptr;
 };
 
 /// Generates a program; deterministic in \p Cfg.Seed.

@@ -110,8 +110,13 @@ NormalizedStmt *Program::assign(const Region *R, const ArraySymbol *LHS,
 
 ReduceStmt *Program::reduce(const Region *R, const ScalarSymbol *Acc,
                             ReduceStmt::ReduceOpKind Op, ExprPtr Body) {
+  return reduce(R, Acc, ReduceStmt::canonical(Op), std::move(Body));
+}
+
+ReduceStmt *Program::reduce(const Region *R, const ScalarSymbol *Acc,
+                            const semiring::Semiring &SR, ExprPtr Body) {
   assert(R && "reduction requires a region");
-  return appendStmt<ReduceStmt>(R, Acc, Op, std::move(Body));
+  return appendStmt<ReduceStmt>(R, Acc, SR, std::move(Body));
 }
 
 CommStmt *Program::comm(const ArraySymbol *Array, Offset Dir,

@@ -116,6 +116,10 @@ public:
   ReduceStmt *reduce(const Region *R, const ScalarSymbol *Acc,
                      ReduceStmt::ReduceOpKind Op, ExprPtr Body);
 
+  /// Appends a reduction folding with \p SR's ⊕ operator.
+  ReduceStmt *reduce(const Region *R, const ScalarSymbol *Acc,
+                     const semiring::Semiring &SR, ExprPtr Body);
+
   /// Appends a communication primitive.
   CommStmt *comm(const ArraySymbol *Array, Offset Dir,
                  CommStmt::CommPhase Phase = CommStmt::CommPhase::Whole,

@@ -4,8 +4,6 @@
 
 #include "support/StringUtil.h"
 
-#include <limits>
-
 using namespace alf;
 using namespace alf::ir;
 
@@ -47,40 +45,33 @@ std::string NormalizedStmt::str() const {
 // ReduceStmt
 //===----------------------------------------------------------------------===//
 
-double ReduceStmt::identity(ReduceOpKind Op) {
+const semiring::Semiring &ReduceStmt::canonical(ReduceOpKind Op) {
   switch (Op) {
   case ReduceOpKind::Sum:
-    return 0.0;
+    return semiring::plusTimes();
   case ReduceOpKind::Min:
-    return std::numeric_limits<double>::infinity();
+    return semiring::minPlus();
   case ReduceOpKind::Max:
-    return -std::numeric_limits<double>::infinity();
+    // max-plus, not max-times: a plain max<< must be lawful (and keep its
+    // -inf identity) over arbitrary-sign data, which max-times is not.
+    return semiring::maxPlus();
+  case ReduceOpKind::Or:
+    return semiring::orAnd();
   }
-  return 0.0;
+  return semiring::plusTimes();
 }
 
-double ReduceStmt::combine(ReduceOpKind Op, double Acc, double V) {
-  switch (Op) {
-  case ReduceOpKind::Sum:
-    return Acc + V;
-  case ReduceOpKind::Min:
-    return V < Acc ? V : Acc;
-  case ReduceOpKind::Max:
-    return V > Acc ? V : Acc;
+ReduceStmt::ReduceOpKind ReduceStmt::getOp() const {
+  switch (SR->Plus) {
+  case semiring::OpKind::Min:
+    return ReduceOpKind::Min;
+  case semiring::OpKind::Max:
+    return ReduceOpKind::Max;
+  case semiring::OpKind::Or:
+    return ReduceOpKind::Or;
+  default:
+    return ReduceOpKind::Sum;
   }
-  return Acc;
-}
-
-const char *ReduceStmt::getOpName(ReduceOpKind Op) {
-  switch (Op) {
-  case ReduceOpKind::Sum:
-    return "+";
-  case ReduceOpKind::Min:
-    return "min";
-  case ReduceOpKind::Max:
-    return "max";
-  }
-  return "?";
 }
 
 void ReduceStmt::getAccesses(std::vector<Access> &Out) const {
@@ -98,7 +89,7 @@ void ReduceStmt::getAccesses(std::vector<Access> &Out) const {
 }
 
 std::string ReduceStmt::str() const {
-  return R->str() + " " + Acc->getName() + " := " + getOpName(Op) +
+  return R->str() + " " + Acc->getName() + " := " + SR->plusName() +
          "<< " + Body->str() + ";";
 }
 

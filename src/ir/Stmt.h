@@ -24,6 +24,7 @@
 #include "ir/Offset.h"
 #include "ir/Region.h"
 #include "ir/Symbol.h"
+#include "semiring/Semiring.h"
 #include "support/Casting.h"
 
 #include <optional>
@@ -117,25 +118,47 @@ public:
 /// with the producer of its input enables contraction of the input (the
 /// EP benchmark contracts *every* array this way). On a parallel machine
 /// a reduction additionally costs a log2(p) cross-processor combine.
+///
+/// Every reduction carries the semiring whose ⊕ it folds with; the legacy
+/// `ReduceOpKind {Sum, Min, Max, Or}` kinds survive as aliases of the
+/// canonical registry instances (plus-times, min-plus, max-plus, or-and)
+/// so existing builders keep compiling unchanged.
 class ReduceStmt : public Stmt {
 public:
-  enum class ReduceOpKind { Sum, Min, Max };
+  enum class ReduceOpKind { Sum, Min, Max, Or };
+
+  /// The canonical registry semiring a legacy op kind is an alias of.
+  static const semiring::Semiring &canonical(ReduceOpKind Op);
 
 private:
   const Region *R;
   const ScalarSymbol *Acc;
-  ReduceOpKind Op;
+  const semiring::Semiring *SR;
   ExprPtr Body;
 
 public:
   ReduceStmt(const Region *R, const ScalarSymbol *Acc, ReduceOpKind Op,
              ExprPtr Body)
-      : Stmt(StmtKind::Reduce), R(R), Acc(Acc), Op(Op), Body(std::move(Body)) {}
+      : ReduceStmt(R, Acc, canonical(Op), std::move(Body)) {}
+
+  ReduceStmt(const Region *R, const ScalarSymbol *Acc,
+             const semiring::Semiring &SR, ExprPtr Body)
+      : Stmt(StmtKind::Reduce), R(R), Acc(Acc), SR(&SR),
+        Body(std::move(Body)) {}
 
   const Region *getRegion() const { return R; }
   const ScalarSymbol *getAccumulator() const { return Acc; }
-  ReduceOpKind getOp() const { return Op; }
   const Expr *getBody() const { return Body.get(); }
+
+  /// The algebra this reduction folds with.
+  const semiring::Semiring &getSemiring() const { return *SR; }
+
+  /// Rebinds the reduction to another semiring (e.g. a tool-level
+  /// `--semiring=` override applied after parsing).
+  void setSemiring(const semiring::Semiring &NewSR) { SR = &NewSR; }
+
+  /// The legacy op-kind view of the semiring's ⊕.
+  ReduceOpKind getOp() const;
 
   /// Replaces the reduced expression (used by statement merging).
   void setBody(ExprPtr NewBody) { Body = std::move(NewBody); }
@@ -145,14 +168,22 @@ public:
     return collectArrayRefs(Body.get());
   }
 
-  /// The accumulator's identity element (0 for sum, +/-inf for min/max).
-  static double identity(ReduceOpKind Op);
+  /// The accumulator's identity element — the canonical semiring's 0̄.
+  /// Thin delegates to the src/semiring table; kept so legacy callers need
+  /// no semiring spelled out.
+  static double identity(ReduceOpKind Op) {
+    return canonical(Op).PlusIdentity;
+  }
 
   /// Combines an accumulator value with one element value.
-  static double combine(ReduceOpKind Op, double Acc, double V);
+  static double combine(ReduceOpKind Op, double Acc, double V) {
+    return canonical(Op).combine(Acc, V);
+  }
 
-  /// Operator spelling ("+", "min", "max").
-  static const char *getOpName(ReduceOpKind Op);
+  /// Operator spelling ("+", "min", "max", "or").
+  static const char *getOpName(ReduceOpKind Op) {
+    return canonical(Op).plusName();
+  }
 
   void getAccesses(std::vector<Access> &Out) const override;
   std::string str() const override;

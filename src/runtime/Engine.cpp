@@ -153,7 +153,8 @@ public:
   Array compute(const ir::Region &R, const Ex &E, std::string Name);
   void update(const Array &A, const ir::Offset &Off, const ir::Region &R,
               const Ex &E);
-  Scalar reduce(RedOp Op, const ir::Region &R, const Ex &E);
+  Scalar reduce(const semiring::Semiring &SR, const ir::Region &R,
+                const Ex &E);
 
 private:
   std::string serializeKey() const;
@@ -272,7 +273,8 @@ void EngineImpl::update(const Array &A, const ir::Offset &Off,
   recorded();
 }
 
-Scalar EngineImpl::reduce(RedOp Op, const ir::Region &R, const Ex &E) {
+Scalar EngineImpl::reduce(const semiring::Semiring &SR, const ir::Region &R,
+                          const Ex &E) {
   TraceStmt TS;
   TS.Kind = TraceStmt::K::Reduce;
   TS.Rhs = lower(*E.node());
@@ -283,7 +285,7 @@ Scalar EngineImpl::reduce(RedOp Op, const ir::Region &R, const Ex &E) {
   ReduceStates.push_back(Sc);
   TS.Lhs = static_cast<unsigned>(Sc->ReduceSlot);
   TS.R = R;
-  TS.Op = Op;
+  TS.SR = &SR;
   Trace.push_back(std::move(TS));
   Scalar Result(Sc);
   recorded();
@@ -307,7 +309,9 @@ std::string EngineImpl::serializeKey() const {
       Key += TS.LhsOff.str();
       break;
     case TraceStmt::K::Reduce:
-      Key += formatString("<r%u:%d", TS.Lhs, static_cast<int>(TS.Op));
+      // The semiring name is part of the key: a structurally identical
+      // trace under a different semiring is a different kernel.
+      Key += formatString("<r%u:%s", TS.Lhs, TS.SR->Name.c_str());
       break;
     }
     Key += TS.R.str();
@@ -349,7 +353,7 @@ std::unique_ptr<EngineImpl::CacheEntry> EngineImpl::buildEntry() {
       E->P->assign(R, E->SlotArrays[TS.Lhs], TS.LhsOff, toExpr(*TS.Rhs, *E));
       break;
     case TraceStmt::K::Reduce:
-      E->P->reduce(R, E->ReduceSyms[TS.Lhs], TS.Op, toExpr(*TS.Rhs, *E));
+      E->P->reduce(R, E->ReduceSyms[TS.Lhs], *TS.SR, toExpr(*TS.Rhs, *E));
       break;
     }
   }
@@ -737,7 +741,12 @@ void Engine::update(const Array &A, const ir::Offset &Off, const ir::Region &R,
 }
 
 Scalar Engine::reduce(RedOp Op, const ir::Region &R, const Ex &E) {
-  return Impl->reduce(Op, R, E);
+  return Impl->reduce(ir::ReduceStmt::canonical(Op), R, E);
+}
+
+Scalar Engine::reduce(const semiring::Semiring &SR, const ir::Region &R,
+                      const Ex &E) {
+  return Impl->reduce(SR, R, E);
 }
 
 void Engine::flush() { Impl->flush(FlushTrigger::Explicit); }

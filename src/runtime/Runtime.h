@@ -245,8 +245,12 @@ public:
               const Ex &E);
 
   /// Records the full reduction `[R] s := Op<< E` and returns the
-  /// deferred scalar s.
+  /// deferred scalar s. The RedOp form folds with the canonical semiring
+  /// of that operator; the Semiring form accepts any registered semiring
+  /// and keys the kernel cache on its name.
   Scalar reduce(RedOp Op, const ir::Region &R, const Ex &E);
+  Scalar reduce(const semiring::Semiring &SR, const ir::Region &R,
+                const Ex &E);
 
   /// Compiles and executes the pending trace now.
   void flush();

@@ -118,7 +118,7 @@ struct TraceStmt {
   unsigned Lhs = 0; ///< array slot (Assign/Update), reduce slot (Reduce)
   ir::Offset LhsOff;
   ir::Region R;
-  ir::ReduceStmt::ReduceOpKind Op = ir::ReduceStmt::ReduceOpKind::Sum;
+  const semiring::Semiring *SR = &semiring::plusTimes();
   std::unique_ptr<TExpr> Rhs;
 };
 

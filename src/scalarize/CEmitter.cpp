@@ -271,12 +271,30 @@ public:
                                : S.LHS.Scalar->getName();
         if (!S.Accumulate) {
           OS << Name << " = " << RHS << ";\n";
-        } else if (S.AccOp == ReduceStmt::ReduceOpKind::Sum) {
+        } else if (S.SR->Plus == semiring::OpKind::Add) {
           OS << Name << " += " << RHS << ";\n";
         } else {
-          const char *Fn =
-              S.AccOp == ReduceStmt::ReduceOpKind::Min ? "fmin" : "fmax";
-          OS << Name << " = " << Fn << "(" << Name << ", " << RHS << ");\n";
+          // Bind the element value once, then fold with the semiring's ⊕
+          // spelled exactly as semiring::applyOp computes it, so native
+          // kernels are bit-identical to the interpreter (fmin/fmax have
+          // different NaN and signed-zero behavior than the ternary).
+          std::string Fold;
+          switch (S.SR->Plus) {
+          case semiring::OpKind::Min:
+            Fold = "(alf_v < " + Name + " ? alf_v : " + Name + ")";
+            break;
+          case semiring::OpKind::Max:
+            Fold = "(alf_v > " + Name + " ? alf_v : " + Name + ")";
+            break;
+          case semiring::OpKind::Or:
+            Fold = "((" + Name + " != 0.0 || alf_v != 0.0) ? 1.0 : 0.0)";
+            break;
+          default:
+            Fold = Name + " + alf_v";
+            break;
+          }
+          OS << "{ const double alf_v = " << RHS << "; " << Name << " = "
+             << Fold << "; }\n";
         }
         continue;
       }

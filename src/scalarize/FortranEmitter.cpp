@@ -213,12 +213,27 @@ public:
         std::string Name = nameOf(S.LHS.Scalar);
         if (!S.Accumulate)
           emitLine(Name + " = " + RHS, Indent);
-        else if (S.AccOp == ReduceStmt::ReduceOpKind::Sum)
-          emitLine(Name + " = " + Name + " + " + RHS, Indent);
-        else if (S.AccOp == ReduceStmt::ReduceOpKind::Min)
-          emitLine(Name + " = MIN(" + Name + ", " + RHS + ")", Indent);
         else
-          emitLine(Name + " = MAX(" + Name + ", " + RHS + ")", Indent);
+          switch (S.SR->Plus) {
+          case semiring::OpKind::Min:
+            emitLine(Name + " = MIN(" + Name + ", " + RHS + ")", Indent);
+            break;
+          case semiring::OpKind::Max:
+            emitLine(Name + " = MAX(" + Name + ", " + RHS + ")", Indent);
+            break;
+          case semiring::OpKind::Or:
+            emitLine("IF (" + Name + " .NE. 0.0D0 .OR. " + RHS +
+                         " .NE. 0.0D0) THEN",
+                     Indent);
+            emitLine(Name + " = 1.0D0", Indent + 2);
+            emitLine("ELSE", Indent);
+            emitLine(Name + " = 0.0D0", Indent + 2);
+            emitLine("END IF", Indent);
+            break;
+          default:
+            emitLine(Name + " = " + Name + " + " + RHS, Indent);
+            break;
+          }
         continue;
       }
       emitLine(subscript(S.LHS.Array, S.LHS.Off) + " = " + RHS, Indent);

@@ -108,13 +108,12 @@ void LoopProgram::print(std::ostream &OS) const {
       for (const ScalarStmt &S : Loop->Body) {
         std::string LHS = renderTarget(S.LHS);
         if (S.Accumulate) {
-          if (S.AccOp == ir::ReduceStmt::ReduceOpKind::Sum)
+          if (S.SR->Plus == semiring::OpKind::Add)
             OS << Indent << "  " << LHS << " += " << renderExpr(S.RHS.get())
                << ";\n";
           else
-            OS << Indent << "  " << LHS << " = "
-               << ir::ReduceStmt::getOpName(S.AccOp) << "(" << LHS << ", "
-               << renderExpr(S.RHS.get()) << ");\n";
+            OS << Indent << "  " << LHS << " = " << S.SR->plusName() << "("
+               << LHS << ", " << renderExpr(S.RHS.get()) << ");\n";
           continue;
         }
         OS << Indent << "  " << LHS << " = " << renderExpr(S.RHS.get())

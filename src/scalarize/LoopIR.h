@@ -55,13 +55,14 @@ struct Target {
 /// side reuses the ir::Expr tree; ArrayRefExpr means "element at loop
 /// indices + offset", ScalarRefExpr may name a contracted array's scalar.
 /// When `Accumulate` is set the statement folds the value into a scalar
-/// accumulator (`LHS op= RHS`) instead of assigning.
+/// accumulator with the ⊕ of `SR` (`LHS = LHS ⊕ RHS`) instead of
+/// assigning; the matching ScalarInit seeds the accumulator with SR's 0̄.
 struct ScalarStmt {
   Target LHS;
   ir::ExprPtr RHS;
   unsigned SrcStmtId = 0; ///< Provenance: originating array statement.
   bool Accumulate = false;
-  ir::ReduceStmt::ReduceOpKind AccOp = ir::ReduceStmt::ReduceOpKind::Sum;
+  const semiring::Semiring *SR = &semiring::plusTimes();
 };
 
 /// Base class for the nodes of a LoopProgram.

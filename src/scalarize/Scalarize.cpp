@@ -148,9 +148,9 @@ scalarize::scalarizeChecked(const ASDG &G, const StrategyResult &SR,
         SS.LHS = Target::scalar(RS->getAccumulator());
         SS.RHS = cloneExprRewriting(RS->getBody(), RewriteContracted);
         SS.Accumulate = true;
-        SS.AccOp = RS->getOp();
+        SS.SR = &RS->getSemiring();
         Nest->ScalarInits.push_back(
-            {RS->getAccumulator(), ReduceStmt::identity(RS->getOp())});
+            {RS->getAccumulator(), RS->getSemiring().PlusIdentity});
         Nest->Body.push_back(std::move(SS));
         continue;
       }

@@ -1,0 +1,182 @@
+//===- semiring/Semiring.cpp - Reduction/contraction algebras --------------===//
+
+#include "semiring/Semiring.h"
+
+#include "support/StringUtil.h"
+
+#include <limits>
+
+using namespace alf;
+using namespace alf::semiring;
+
+double semiring::applyOp(OpKind K, double A, double B) {
+  switch (K) {
+  case OpKind::Add:
+    return A + B;
+  case OpKind::Mul:
+    return A * B;
+  case OpKind::Min:
+    return B < A ? B : A;
+  case OpKind::Max:
+    return B > A ? B : A;
+  case OpKind::Or:
+    return (A != 0.0 || B != 0.0) ? 1.0 : 0.0;
+  case OpKind::And:
+    return (A != 0.0 && B != 0.0) ? 1.0 : 0.0;
+  case OpKind::Sub:
+    return A - B;
+  }
+  return A;
+}
+
+const char *semiring::getOpName(OpKind K) {
+  switch (K) {
+  case OpKind::Add:
+    return "+";
+  case OpKind::Mul:
+    return "*";
+  case OpKind::Min:
+    return "min";
+  case OpKind::Max:
+    return "max";
+  case OpKind::Or:
+    return "or";
+  case OpKind::And:
+    return "and";
+  case OpKind::Sub:
+    return "-";
+  }
+  return "?";
+}
+
+namespace {
+constexpr double Inf = std::numeric_limits<double>::infinity();
+} // namespace
+
+const Semiring &semiring::plusTimes() {
+  // Carrier samples are small integers: double addition is exact on them,
+  // so the associativity re-proof is not defeated by rounding.
+  static const Semiring S{"plus-times", OpKind::Add,    OpKind::Mul,
+                          0.0,          1.0,            0.0,
+                          /*Exact=*/false,
+                          {-3.0, -1.0, 0.0, 1.0, 2.0, 5.0}};
+  return S;
+}
+
+const Semiring &semiring::minPlus() {
+  static const Semiring S{"min-plus", OpKind::Min,    OpKind::Add,
+                          Inf,        0.0,            Inf,
+                          /*Exact=*/true,
+                          {-4.0, -0.5, 0.0, 1.25, 7.0, Inf}};
+  return S;
+}
+
+const Semiring &semiring::maxTimes() {
+  // Viterbi-style: carrier is the nonnegative reals, where 0 is both the
+  // identity of max and the annihilator of *. Over all of R the laws
+  // genuinely fail (-inf * 0 is NaN), so max-times workloads keep their
+  // values nonnegative.
+  static const Semiring S{"max-times", OpKind::Max,   OpKind::Mul,
+                          0.0,         1.0,           0.0,
+                          /*Exact=*/true,
+                          {0.0, 0.25, 1.0, 3.5, 9.0}};
+  return S;
+}
+
+const Semiring &semiring::maxPlus() {
+  // The tropical dual of min-plus, and the canonical algebra of a plain
+  // max<< reduction: -inf is a lawful identity and annihilator over
+  // R ∪ {-inf}, so max-reductions of arbitrary-sign data stay exact.
+  static const Semiring S{"max-plus", OpKind::Max,    OpKind::Add,
+                          -Inf,       0.0,            -Inf,
+                          /*Exact=*/true,
+                          {-Inf, -4.0, -0.5, 0.0, 1.25, 7.0}};
+  return S;
+}
+
+const Semiring &semiring::orAnd() {
+  static const Semiring S{"or-and", OpKind::Or,     OpKind::And,
+                          0.0,      1.0,            0.0,
+                          /*Exact=*/true,
+                          {0.0, 1.0}};
+  return S;
+}
+
+const std::vector<const Semiring *> &semiring::all() {
+  static const std::vector<const Semiring *> All = {
+      &plusTimes(), &minPlus(), &maxTimes(), &maxPlus(), &orAnd()};
+  return All;
+}
+
+const Semiring *semiring::byName(const std::string &Name) {
+  for (const Semiring *S : all())
+    if (S->Name == Name)
+      return S;
+  return nullptr;
+}
+
+std::string semiring::allNames() {
+  std::vector<std::string> Names;
+  for (const Semiring *S : all())
+    Names.push_back(S->Name);
+  return join(Names, "|");
+}
+
+std::vector<std::string> semiring::checkAlgebra(const Semiring &SR) {
+  std::vector<std::string> Violations;
+  // NaN-safe equality: a law holds when both sides are identical bits or
+  // both NaN; the carriers here never produce NaN, but the check should
+  // not claim a law holds through NaN == NaN being false.
+  auto Same = [](double A, double B) {
+    return A == B || (A != A && B != B);
+  };
+  auto Violate = [&Violations](const std::string &What) {
+    // Bound the report: one broken law can fire for many sample triples.
+    if (Violations.size() < 8)
+      Violations.push_back(What);
+  };
+
+  const std::vector<double> &C = SR.Carrier;
+  for (double A : C) {
+    // (2) two-sided ⊕ identity.
+    if (!Same(SR.combine(A, SR.PlusIdentity), A) ||
+        !Same(SR.combine(SR.PlusIdentity, A), A))
+      Violate(formatString("%s: %s is not an identity of %s at a=%g",
+                           SR.Name.c_str(),
+                           formatString("%g", SR.PlusIdentity).c_str(),
+                           SR.plusName(), A));
+    // (4) ⊗ annihilator.
+    if (!Same(applyOp(SR.Times, A, SR.Annihilator), SR.Annihilator))
+      Violate(formatString("%s: %g does not annihilate %s at a=%g",
+                           SR.Name.c_str(), SR.Annihilator,
+                           getOpName(SR.Times), A));
+    for (double B : C) {
+      // (3) ⊕ commutativity.
+      if (!Same(SR.combine(A, B), SR.combine(B, A)))
+        Violate(formatString("%s: %s is not commutative at (%g, %g)",
+                             SR.Name.c_str(), SR.plusName(), A, B));
+      // (1) ⊕ associativity — the law Definition 6 actually consumes.
+      for (double D : C)
+        if (!Same(SR.combine(SR.combine(A, B), D),
+                  SR.combine(A, SR.combine(B, D))))
+          Violate(formatString(
+              "%s: %s is not associative at (%g, %g, %g): "
+              "(a%sb)%sc = %g but a%s(b%sc) = %g",
+              SR.Name.c_str(), SR.plusName(), A, B, D, SR.plusName(),
+              SR.plusName(), SR.combine(SR.combine(A, B), D),
+              SR.plusName(), SR.plusName(),
+              SR.combine(A, SR.combine(B, D))));
+    }
+  }
+  return Violations;
+}
+
+const Semiring &semiring::bogusNonAssociativeForTest() {
+  // ⊕ = subtraction: (1-2)-3 = -4 but 1-(2-3) = 2, and 0 is only a right
+  // identity. checkAlgebra must report both.
+  static const Semiring S{"bogus-sub", OpKind::Sub,   OpKind::Mul,
+                          0.0,         1.0,           0.0,
+                          /*Exact=*/true,
+                          {-2.0, 0.0, 1.0, 2.0, 3.0}};
+  return S;
+}

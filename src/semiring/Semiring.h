@@ -1,0 +1,125 @@
+//===- semiring/Semiring.h - Reduction/contraction algebras ----*- C++ -*-===//
+//
+// Part of the ALF project: array-level fusion and contraction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A `Semiring` is the algebra (⊕, ⊗, 0̄, 1̄) a contraction computes over.
+/// The paper's Definition 6 contractibility argument uses only that ⊕ is
+/// associative with identity 0̄ — nothing about (+, ×) specifically — so
+/// the whole stack (scalarizer accumulator init, interpreter/parallel/JIT
+/// combine, runtime trace keys, verify legality re-proofs) is parameterized
+/// by a semiring descriptor instead of a hard-wired op kind.
+///
+/// The registry holds the named instances the workload zoo uses:
+///
+///   plus-times  (ℝ, +, ×, 0, 1)          classic sums of products
+///   min-plus    (ℝ∪{∞}, min, +, ∞, 0)    tropical: shortest paths
+///   max-times   (ℝ≥0, max, ×, 0, 1)      Viterbi-style best score
+///   max-plus    (ℝ∪{-∞}, max, +, -∞, 0)  tropical dual; plain max<<
+///   or-and      ({0,1}, ∨, ∧, 0, 1)      boolean: reachability/closure
+///
+/// Instances are singletons with stable addresses: statements store
+/// `const Semiring *` and compare identity by pointer, and two semirings
+/// never compare equal just because their tables coincide. Every instance
+/// declares carrier sample values on which `checkAlgebra` re-proves the
+/// laws Definition 6 consumes (associativity and two-sided identity of ⊕,
+/// plus the ⊗ laws for documentation); a bogus non-associative "semiring"
+/// is available for fault-injection tests and MUST be rejected by verify.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALF_SEMIRING_SEMIRING_H
+#define ALF_SEMIRING_SEMIRING_H
+
+#include <string>
+#include <vector>
+
+namespace alf {
+namespace semiring {
+
+/// Scalar opcodes usable as a semiring's ⊕ or ⊗. `Sub` exists only so the
+/// fault-injection tests can plant a non-associative ⊕; no registry
+/// instance uses it.
+enum class OpKind { Add, Mul, Min, Max, Or, And, Sub };
+
+/// Applies \p K to two doubles. `Or`/`And` use C truthiness and return
+/// exactly 0.0 or 1.0, so boolean folds are deterministic (and identical
+/// across backends) even on off-carrier inputs.
+double applyOp(OpKind K, double A, double B);
+
+/// Spelling of \p K as a reduction operator ("+", "min", "max", "or", ...).
+const char *getOpName(OpKind K);
+
+/// Descriptor of one algebra. Aggregate by design: tests build bogus
+/// instances directly; real code goes through the registry.
+struct Semiring {
+  std::string Name;     ///< registry name, e.g. "min-plus"
+  OpKind Plus;          ///< ⊕ — the reduction/combine operator
+  OpKind Times;         ///< ⊗ — the element-wise product operator
+  double PlusIdentity;  ///< 0̄: accumulator initialization value
+  double TimesIdentity; ///< 1̄
+  double Annihilator;   ///< a ⊗ 0̄ = 0̄ (equals PlusIdentity in a semiring)
+  /// True when ⊕ is exact on doubles — min/max/or return one of their
+  /// operands (or a canonical constant), so reassociation cannot change
+  /// the result and cross-backend comparisons need no ULP tolerance.
+  /// Floating-point + is NOT exact; plus-times contractions are only
+  /// bit-stable while every backend folds in the same order.
+  bool Exact = false;
+  /// Sample carrier values `checkAlgebra` quantifies over. The laws of a
+  /// semiring hold on its carrier set, not on all doubles — e.g. or's
+  /// identity law fails off {0,1} (or(0.5, 0) = 1.0 ≠ 0.5) — so each
+  /// instance declares representative members of its carrier.
+  std::vector<double> Carrier;
+
+  /// Folds one element into an accumulator: `Acc ⊕ V`.
+  double combine(double Acc, double V) const {
+    return applyOp(Plus, Acc, V);
+  }
+
+  /// Spelling of ⊕ as a reduction operator ("+", "min", "max", "or").
+  const char *plusName() const { return getOpName(Plus); }
+};
+
+/// The registry instances. Addresses are stable for the process lifetime;
+/// pointer equality is semiring identity.
+const Semiring &plusTimes();
+const Semiring &minPlus();
+const Semiring &maxTimes();
+const Semiring &maxPlus();
+const Semiring &orAnd();
+
+/// All registered instances, in a stable order.
+const std::vector<const Semiring *> &all();
+
+/// Looks up a registry instance by name ("plus-times", "min-plus",
+/// "max-times", "or-and"); null when unknown. Never returns the bogus
+/// test instance.
+const Semiring *byName(const std::string &Name);
+
+/// "name1|name2|..." of every registry instance, for CLI help and errors.
+std::string allNames();
+
+/// Re-proves the laws the Definition 6 contractibility argument consumes,
+/// by exhaustive evaluation over the declared carrier samples:
+///   (1) ⊕ associativity      (a⊕b)⊕c = a⊕(b⊕c)
+///   (2) ⊕ identity           a⊕0̄ = 0̄⊕a = a
+///   (3) ⊕ commutativity      a⊕b = b⊕a  (parallel/distributed combine
+///                            order is not program order)
+///   (4) ⊗ annihilator        a⊗0̄ = 0̄
+/// Returns one human-readable violation per broken law instance (empty =
+/// algebra certified). verify::verifyStrategy calls this for every
+/// reduction statement, so a planted non-associative ⊕ is rejected before
+/// any contraction of it could run.
+std::vector<std::string> checkAlgebra(const Semiring &SR);
+
+/// A deliberately broken "semiring" whose ⊕ is subtraction — associativity
+/// and the identity law both fail on its carrier. For fault-injection
+/// tests only; not in the registry, not reachable from byName().
+const Semiring &bogusNonAssociativeForTest();
+
+} // namespace semiring
+} // namespace alf
+
+#endif // ALF_SEMIRING_SEMIRING_H

@@ -89,7 +89,8 @@ json::Value Client::makeShutdown() {
 json::Value Client::makeCompile(const std::string &Program,
                                 const std::string &Strategy,
                                 const std::string &Exec,
-                                const std::string &Verify) {
+                                const std::string &Verify,
+                                const std::string &Semiring) {
   json::Value V = json::Value::object();
   V.set("op", json::Value::str("compile"));
   V.set("program", json::Value::str(Program));
@@ -99,14 +100,17 @@ json::Value Client::makeCompile(const std::string &Program,
     V.set("exec", json::Value::str(Exec));
   if (!Verify.empty())
     V.set("verify", json::Value::str(Verify));
+  if (!Semiring.empty())
+    V.set("semiring", json::Value::str(Semiring));
   return V;
 }
 
 json::Value Client::makeExecute(const std::string &Program,
                                 const std::string &Strategy,
                                 const std::string &Exec,
-                                const std::string &Verify, uint64_t Seed) {
-  json::Value V = makeCompile(Program, Strategy, Exec, Verify);
+                                const std::string &Verify, uint64_t Seed,
+                                const std::string &Semiring) {
+  json::Value V = makeCompile(Program, Strategy, Exec, Verify, Semiring);
   V.set("op", json::Value::str("execute"));
   V.set("seed", json::Value::number(static_cast<double>(Seed)));
   return V;

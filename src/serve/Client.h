@@ -49,17 +49,20 @@ public:
   static json::Value makeHealth();
   static json::Value makeStats();
   static json::Value makeShutdown();
-  /// \p Strategy/\p Exec/\p Verify may be empty to take the daemon's
-  /// defaults.
+  /// \p Strategy/\p Exec/\p Verify/\p Semiring may be empty to take the
+  /// daemon's defaults (for \p Semiring: each reduction's declared
+  /// algebra).
   static json::Value makeCompile(const std::string &Program,
                                  const std::string &Strategy = "",
                                  const std::string &Exec = "",
-                                 const std::string &Verify = "");
+                                 const std::string &Verify = "",
+                                 const std::string &Semiring = "");
   static json::Value makeExecute(const std::string &Program,
                                  const std::string &Strategy = "",
                                  const std::string &Exec = "",
                                  const std::string &Verify = "",
-                                 uint64_t Seed = 0);
+                                 uint64_t Seed = 0,
+                                 const std::string &Semiring = "");
 
 private:
   int Fd = -1;

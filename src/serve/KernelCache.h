@@ -53,6 +53,10 @@ struct CompileKey {
   xform::Strategy Strat = xform::Strategy::C2;
   xform::ExecMode Mode = xform::ExecMode::Sequential;
   verify::VerifyLevel Verify = verify::VerifyLevel::Structural;
+  /// Registry name of a reduction-algebra override ("" = none). The same
+  /// source text compiled under min-plus and plus-times yields different
+  /// artifacts, so the override is part of the key.
+  std::string Semiring;
 
   bool operator<(const CompileKey &O) const {
     if (ProgramHash != O.ProgramHash)
@@ -61,7 +65,9 @@ struct CompileKey {
       return Strat < O.Strat;
     if (Mode != O.Mode)
       return Mode < O.Mode;
-    return Verify < O.Verify;
+    if (Verify != O.Verify)
+      return Verify < O.Verify;
+    return Semiring < O.Semiring;
   }
 };
 

@@ -317,6 +317,15 @@ json::Value Server::handleCompile(
       return makeError("malformed", "unknown verify level \"" + *S + "\"");
     Key.Verify = *L;
   }
+  const semiring::Semiring *SemiringSel = nullptr;
+  if (std::optional<std::string> S = Req.getString("semiring")) {
+    SemiringSel = semiring::byName(*S);
+    if (!SemiringSel)
+      return makeError("malformed", "unknown semiring \"" + *S +
+                                        "\" (expected " +
+                                        semiring::allNames() + ")");
+    Key.Semiring = SemiringSel->Name;
+  }
 
   CacheOutcome Outcome = CacheOutcome::Hit;
   std::shared_ptr<const CompiledEntry> Entry = Cache->get(
@@ -335,6 +344,13 @@ json::Value Server::handleCompile(
           return E;
         }
         E.P = std::move(PR.Prog);
+        if (SemiringSel)
+          // Rebind every reduction's algebra before any analysis, so the
+          // override flows through strategy, verification and execution
+          // exactly as zplc's --semiring does.
+          for (unsigned Id = 0; Id < E.P->numStmts(); ++Id)
+            if (auto *RS = dyn_cast<ir::ReduceStmt>(E.P->getStmt(Id)))
+              RS->setSemiring(*SemiringSel);
         driver::PipelineOptions PO;
         PO.Verify = Key.Verify;
         PO.Jit = Opts.Jit;

@@ -16,6 +16,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "semiring/Semiring.h"
 #include "support/Casting.h"
 #include "support/Statistic.h"
 #include "support/StringUtil.h"
@@ -44,6 +45,8 @@ ALF_STATISTIC(NumNestsCertifiedParallel, "verify",
               "Loop nests certified free of cross-iteration conflicts");
 ALF_STATISTIC(NumLegalityFindings, "verify",
               "Fusion/contraction/race legality failures");
+ALF_STATISTIC(NumSemiringProofs, "verify",
+              "Reduction semirings re-checked against their declared laws");
 
 namespace {
 
@@ -293,6 +296,28 @@ VerifyReport verify::verifyStrategy(const analysis::ASDG &G,
                          Partition.numStmts(), P.numStmts()));
     NumLegalityFindings += Out.Findings.size();
     return Out;
+  }
+
+  // Every reduction's legality argument (Definition 6 and the scalarized
+  // accumulation order) leans on the declared ⊕ being associative with
+  // the declared identity. Re-check those laws on the semiring's own
+  // carrier before trusting them: a "semiring" whose ⊕ is not associative
+  // makes every contraction of its reductions unsound.
+  {
+    std::set<const semiring::Semiring *> Checked;
+    for (unsigned Id = 0; Id < P.numStmts(); ++Id) {
+      const auto *RS = dyn_cast<ReduceStmt>(P.getStmt(Id));
+      if (!RS || !Checked.insert(&RS->getSemiring()).second)
+        continue;
+      ++NumSemiringProofs;
+      for (const std::string &Law :
+           semiring::checkAlgebra(RS->getSemiring()))
+        Out.add(ContractionPass,
+                formatString("S%u: semiring '%s' violates its declared "
+                             "algebra: %s (Definition 6 precondition)",
+                             Id, RS->getSemiring().Name.c_str(),
+                             Law.c_str()));
+    }
   }
 
   auto Deps = oracleDeps(P);

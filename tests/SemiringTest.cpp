@@ -1,0 +1,147 @@
+//===- tests/SemiringTest.cpp - Reduction-algebra descriptors ---------------===//
+//
+// The semiring layer in isolation: the registry (stable names and
+// addresses, byName lookup), the law checker that verify consumes
+// (every registry instance must certify; the planted non-associative
+// instance must not), the fold semantics the backends share, and the
+// runtime trace-cache regression — a structurally identical trace under
+// two different semirings must compile two kernels, never alias one.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Stmt.h"
+#include "runtime/Runtime.h"
+#include "semiring/Semiring.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <set>
+
+using namespace alf;
+using namespace alf::semiring;
+
+TEST(SemiringRegistryTest, FiveInstancesWithStableNamesAndAddresses) {
+  const std::vector<const Semiring *> &Regs = all();
+  ASSERT_EQ(Regs.size(), 5u);
+  EXPECT_EQ(Regs[0], &plusTimes());
+  EXPECT_EQ(Regs[1], &minPlus());
+  EXPECT_EQ(Regs[2], &maxTimes());
+  EXPECT_EQ(Regs[3], &maxPlus());
+  EXPECT_EQ(Regs[4], &orAnd());
+
+  std::set<std::string> Names;
+  for (const Semiring *S : Regs) {
+    ASSERT_NE(S, nullptr);
+    EXPECT_TRUE(Names.insert(S->Name).second)
+        << "duplicate registry name " << S->Name;
+    // Calling the accessor again must return the same singleton: pointer
+    // equality is semiring identity throughout the IR.
+    EXPECT_EQ(byName(S->Name), S);
+  }
+  EXPECT_EQ(plusTimes().Name, "plus-times");
+  EXPECT_EQ(minPlus().Name, "min-plus");
+  EXPECT_EQ(maxTimes().Name, "max-times");
+  EXPECT_EQ(maxPlus().Name, "max-plus");
+  EXPECT_EQ(orAnd().Name, "or-and");
+}
+
+TEST(SemiringRegistryTest, ByNameRejectsUnknownAndBogus) {
+  EXPECT_EQ(byName("no-such-algebra"), nullptr);
+  EXPECT_EQ(byName(""), nullptr);
+  // The fault-injection instance must never be reachable from the CLI.
+  EXPECT_EQ(byName(bogusNonAssociativeForTest().Name), nullptr);
+  // allNames feeds CLI help and error messages.
+  std::string All = allNames();
+  for (const Semiring *S : all())
+    EXPECT_NE(All.find(S->Name), std::string::npos) << All;
+}
+
+TEST(SemiringRegistryTest, LegacyOpKindsAliasCanonicalInstances) {
+  using RK = ir::ReduceStmt::ReduceOpKind;
+  EXPECT_EQ(&ir::ReduceStmt::canonical(RK::Sum), &plusTimes());
+  EXPECT_EQ(&ir::ReduceStmt::canonical(RK::Min), &minPlus());
+  // Plain max<< folds over arbitrary-sign data with identity -inf, which
+  // is max-plus; max-times (nonnegative carrier, identity 0) would be an
+  // unsound alias.
+  EXPECT_EQ(&ir::ReduceStmt::canonical(RK::Max), &maxPlus());
+  EXPECT_EQ(&ir::ReduceStmt::canonical(RK::Or), &orAnd());
+}
+
+TEST(SemiringAlgebraTest, EveryRegistryInstanceCertifies) {
+  for (const Semiring *S : all()) {
+    std::vector<std::string> Violations = checkAlgebra(*S);
+    EXPECT_TRUE(Violations.empty())
+        << S->Name << ": " << (Violations.empty() ? "" : Violations[0]);
+  }
+}
+
+TEST(SemiringAlgebraTest, PlantedNonAssociativePlusIsRejected) {
+  std::vector<std::string> Violations =
+      checkAlgebra(bogusNonAssociativeForTest());
+  ASSERT_FALSE(Violations.empty())
+      << "a subtraction ⊕ must fail the associativity/identity re-proof";
+}
+
+TEST(SemiringOpsTest, FoldSemanticsMatchTheBackendContract) {
+  // Min/Max return one of their operands (exactness), Or returns exactly
+  // 0.0/1.0 under C truthiness — the folds every backend must mirror.
+  EXPECT_EQ(applyOp(OpKind::Min, 3.0, -2.0), -2.0);
+  EXPECT_EQ(applyOp(OpKind::Max, 3.0, -2.0), 3.0);
+  EXPECT_EQ(applyOp(OpKind::Or, 0.0, 0.0), 0.0);
+  EXPECT_EQ(applyOp(OpKind::Or, 0.5, 0.0), 1.0);
+  EXPECT_EQ(applyOp(OpKind::And, 0.5, 2.0), 1.0);
+  EXPECT_EQ(applyOp(OpKind::And, 0.5, 0.0), 0.0);
+  EXPECT_EQ(applyOp(OpKind::Add, 2.0, 3.0), 5.0);
+  EXPECT_EQ(applyOp(OpKind::Mul, 2.0, 3.0), 6.0);
+}
+
+TEST(SemiringOpsTest, PlusIdentityFoldsToTheElementOverEachCarrier) {
+  // ⊕(0̄, v) = v for every declared carrier member: the law the
+  // scalarizer's accumulator initialization and the pivot-sweep zoo's
+  // singleton-region extracts both rely on.
+  for (const Semiring *S : all())
+    for (double V : S->Carrier) {
+      EXPECT_EQ(S->combine(S->PlusIdentity, V), V) << S->Name;
+      EXPECT_EQ(S->combine(V, S->PlusIdentity), V) << S->Name;
+    }
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime trace-cache keying
+//===----------------------------------------------------------------------===//
+
+TEST(SemiringTraceKeyTest, SameTraceDifferentSemiringIsADifferentKernel) {
+  using namespace alf::runtime;
+  EngineOptions EO;
+  EO.Verify = verify::VerifyLevel::Full;
+  Engine E(EO);
+  ir::Region R = ir::Region::fromExtents({8});
+  Array A = E.input("A", R);
+  std::vector<double> Init(R.size());
+  for (size_t I = 0; I < Init.size(); ++I)
+    Init[I] = 1.0 + static_cast<double>(I % 5); // 1 2 3 4 5 1 2 3
+  A.setAll(Init);
+
+  Scalar MinOut = E.reduce(minPlus(), R, A);
+  E.flush();
+  uint64_t MissesAfterMin = E.stats().CacheMisses;
+  EXPECT_GE(MissesAfterMin, 1u);
+
+  // Structurally the identical trace — same region, same operand shape —
+  // under a different semiring. A cache hit here would execute the
+  // min-fold kernel for a sum.
+  Scalar SumOut = E.reduce(plusTimes(), R, A);
+  E.flush();
+  EXPECT_EQ(E.stats().CacheMisses, MissesAfterMin + 1)
+      << "the semiring name must be part of the trace cache key";
+
+  EXPECT_EQ(MinOut.value(), 1.0);
+  EXPECT_EQ(SumOut.value(), 21.0);
+
+  // Re-issuing the min-plus trace is now a pure structural hit.
+  Scalar MinAgain = E.reduce(minPlus(), R, A);
+  E.flush();
+  EXPECT_EQ(E.stats().CacheMisses, MissesAfterMin + 1);
+  EXPECT_GE(E.stats().CacheHits, 1u);
+  EXPECT_EQ(MinAgain.value(), 1.0);
+}

@@ -485,6 +485,42 @@ TEST_F(ServerTest, UnknownStrategyIsMalformed) {
   EXPECT_EQ(Resp.getString("error").value_or(""), "malformed");
 }
 
+TEST_F(ServerTest, SemiringOverrideIsItsOwnCacheKey) {
+  json::Value Plain = roundTrip(Client::makeExecute(ServerSource, "c2"));
+  ASSERT_EQ(Plain.getBool("ok").value_or(false), true)
+      << Plain.getString("message").value_or("");
+  EXPECT_EQ(Plain.getString("cache").value_or(""), "miss");
+
+  // Same source text under a min-plus override: a distinct artifact, so
+  // a distinct cache entry — and a fold that computes min, not sum.
+  json::Value MinPlus = roundTrip(
+      Client::makeExecute(ServerSource, "c2", "", "", 0, "min-plus"));
+  ASSERT_EQ(MinPlus.getBool("ok").value_or(false), true)
+      << MinPlus.getString("message").value_or("");
+  EXPECT_EQ(MinPlus.getString("cache").value_or(""), "miss");
+
+  const json::Value *SP = Plain.get("scalars");
+  const json::Value *SM = MinPlus.get("scalars");
+  ASSERT_NE(SP, nullptr);
+  ASSERT_NE(SM, nullptr);
+  ASSERT_TRUE(SP->getNumber("s").has_value());
+  ASSERT_TRUE(SM->getNumber("s").has_value());
+  EXPECT_NE(*SP->getNumber("s"), *SM->getNumber("s"))
+      << "the min-plus request must not be served the plus-times artifact";
+
+  // Both keys are now independently warm.
+  EXPECT_EQ(roundTrip(Client::makeExecute(ServerSource, "c2", "", "", 0,
+                                          "min-plus"))
+                .getString("cache")
+                .value_or(""),
+            "hit");
+
+  json::Value Bad =
+      roundTrip(Client::makeCompile(ServerSource, "", "", "", "no-such"));
+  EXPECT_EQ(Bad.getBool("ok").value_or(true), false);
+  EXPECT_EQ(Bad.getString("error").value_or(""), "malformed");
+}
+
 TEST_F(ServerTest, MalformedFrameIsAnsweredThenDropped) {
   int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   ASSERT_GE(Fd, 0);

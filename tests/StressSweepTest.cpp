@@ -136,6 +136,60 @@ TEST_P(StressSweepTest, AllStrategiesAndExecutorsAgree) {
       << "verification findings:\n" << Collected.str() << P->str();
 }
 
+// The semiring sweep: the same generated programs with 1-2 reduction
+// statements appended, rotating through the whole semiring registry by
+// seed. Every strategy's sequential and parallel runs must agree
+// bit-exactly with the unoptimized baseline, and a seed subset also runs
+// the native JIT — so min-plus/max-times/or-and accumulator init and
+// combine are cross-validated on every backend at VerifyLevel::Full
+// (which additionally re-proves each semiring's declared algebra).
+TEST_P(StressSweepTest, SemiringAgrees) {
+  uint64_t Seed = GetParam();
+  GeneratorConfig Cfg = sweepConfig(Seed);
+  const auto &Regs = semiring::all();
+  Cfg.NumReduce = 1 + static_cast<unsigned>(Seed % 2);
+  Cfg.ReduceSemiring = Regs[Seed % Regs.size()];
+  auto P = generateRandomProgram(Cfg);
+  verify::VerifyReport Collected;
+  unsigned NumThreads = 1 + static_cast<unsigned>(Seed % 4); // 1..4
+  driver::Pipeline PL(*P, fullVerifyOptions(Collected, NumThreads));
+  ASSERT_TRUE(isWellFormed(PL.program())) << P->str();
+
+  uint64_t RunSeed = Seed ^ 0xabcd;
+  auto Base = PL.scalarize(Strategy::Baseline);
+  RunResult BaseRes = run(Base, RunSeed);
+
+  for (Strategy S : allStrategies()) {
+    StrategyResult SR = PL.strategy(S);
+    ASSERT_TRUE(isValidPartition(SR.Partition))
+        << getStrategyName(S) << "\n" << P->str();
+    auto LP = PL.scalarize(SR);
+    std::string Why;
+    ASSERT_TRUE(resultsMatch(BaseRes, run(LP, RunSeed), 0.0, &Why))
+        << getStrategyName(S) << " sequential diverged under "
+        << Cfg.ReduceSemiring->Name << ": " << Why << "\n" << P->str();
+    ASSERT_TRUE(resultsMatch(
+        BaseRes, PL.run(LP, ExecMode::Parallel, RunSeed), 0.0, &Why))
+        << getStrategyName(S) << " parallel diverged under "
+        << Cfg.ReduceSemiring->Name << ": " << Why << "\n" << P->str();
+  }
+
+  if (Seed % 10 == 0 && JitEngine::compilerAvailable()) {
+    auto LP = PL.scalarize(Strategy::C2);
+    JitRunInfo Info;
+    RunResult JitRes = runNativeJit(LP, RunSeed, &Info);
+    ASSERT_TRUE(Info.UsedJit)
+        << "jit fell back: " << Info.FallbackReason << "\n" << P->str();
+    std::string Why;
+    ASSERT_TRUE(resultsMatch(BaseRes, JitRes, 0.0, &Why))
+        << "jit diverged under " << Cfg.ReduceSemiring->Name << ": " << Why
+        << "\n" << P->str();
+  }
+
+  EXPECT_TRUE(Collected.ok())
+      << "verification findings:\n" << Collected.str() << P->str();
+}
+
 // The same sweep through the native JIT backend. A strategy subset keeps
 // the number of distinct kernels (hence compiler invocations on a cold
 // cache) bounded; the process-wide engine honors $ALF_JIT_CACHE_DIR, so

@@ -30,6 +30,7 @@ TEST(ToolOptionsTest, DefaultsMatchTheHistoricalToolDefaults) {
   EXPECT_TRUE(TO.TraceFile.empty());
   EXPECT_FALSE(TO.Metrics);
   EXPECT_EQ(TO.Seed, 1u);
+  EXPECT_EQ(TO.SemiringSel, nullptr);
 }
 
 TEST(ToolOptionsTest, ConsumesEveryFlagKind) {
@@ -47,6 +48,8 @@ TEST(ToolOptionsTest, ConsumesEveryFlagKind) {
   EXPECT_TRUE(TO.Metrics);
   EXPECT_EQ(parse("--seed=42", TF_All, TO), FlagParse::Consumed);
   EXPECT_EQ(TO.Seed, 42u);
+  EXPECT_EQ(parse("--semiring=min-plus", TF_All, TO), FlagParse::Consumed);
+  EXPECT_EQ(TO.SemiringSel, &semiring::minPlus());
 }
 
 TEST(ToolOptionsTest, MaskGatesFlagsToNotMine) {
@@ -56,8 +59,11 @@ TEST(ToolOptionsTest, MaskGatesFlagsToNotMine) {
   EXPECT_EQ(parse("--strategy=c2", TF_Trace | TF_Metrics, TO),
             FlagParse::NotMine);
   EXPECT_EQ(parse("--seed=9", TF_Strategy, TO), FlagParse::NotMine);
+  EXPECT_EQ(parse("--semiring=or-and", TF_Strategy | TF_Seed, TO),
+            FlagParse::NotMine);
   EXPECT_FALSE(TO.Strat.has_value());
   EXPECT_EQ(TO.Seed, 1u);
+  EXPECT_EQ(TO.SemiringSel, nullptr);
   // Unrelated arguments are NotMine too.
   EXPECT_EQ(parse("--count=50", TF_All, TO), FlagParse::NotMine);
   EXPECT_EQ(parse("prog.zpl", TF_All, TO), FlagParse::NotMine);
@@ -77,6 +83,10 @@ TEST(ToolOptionsTest, BadValuesAreErrorsWithoutToolPrefix) {
   EXPECT_EQ(Error, "unknown verification level 'maybe'");
   EXPECT_EQ(parseToolFlag("--trace=", TF_All, TO, Error), FlagParse::Error);
   EXPECT_EQ(Error, "--trace needs a file name");
+  EXPECT_EQ(parseToolFlag("--semiring=frob", TF_All, TO, Error),
+            FlagParse::Error);
+  EXPECT_EQ(Error, "unknown semiring 'frob' (expected "
+                   "plus-times|min-plus|max-times|max-plus|or-and)");
 }
 
 TEST(ToolOptionsTest, GoldenHelpText) {
@@ -90,6 +100,8 @@ TEST(ToolOptionsTest, GoldenHelpText) {
       "                         execution mode\n"
       "  --verify=off|structural|full\n"
       "                         translation-validation level (default full)\n"
+      "  --semiring=plus-times|min-plus|max-times|max-plus|or-and\n"
+      "                         reduction algebra override\n"
       "  --seed=N               input-data seed (default 1)\n"
       "  --trace=FILE           write a Chrome trace of every phase and "
       "kernel\n"

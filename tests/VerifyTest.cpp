@@ -166,6 +166,37 @@ TEST(VerifyTest, LegalityRejectsContractionOfLiveOutArray) {
   EXPECT_TRUE(hasFindingFrom(Rep, "contraction-legality")) << Rep.str();
 }
 
+TEST(VerifyTest, AlgebraCheckRejectsPlantedNonAssociativeSemiring) {
+  // The Definition 6 contractibility argument consumes ⊕ associativity
+  // and identity. Rebind a reduction to the bogus subtraction "semiring"
+  // after construction — exactly the corruption a broken registry entry
+  // or override path would introduce — and the legality pass must refuse
+  // to certify any strategy over it.
+  Program P("bogus-algebra");
+  const Region *R = P.regionFromExtents({8});
+  ArraySymbol *A = P.makeArray("A", 1);
+  ArraySymbol *T = P.makeUserTemp("T", 1);
+  ScalarSymbol *S = P.makeScalar("s");
+  P.assign(R, T, mul(aref(A), cst(2.0)));
+  ReduceStmt *RS = P.reduce(R, S, semiring::plusTimes(), aref(T));
+  normalizeProgram(P);
+  ASDG G = ASDG::build(P);
+
+  // The lawful algebra certifies cleanly...
+  StrategyResult SR = applyStrategy(G, Strategy::C2);
+  EXPECT_TRUE(verify::verifyStrategy(G, SR).ok());
+
+  // ...and the planted one is rejected with a contraction-legality
+  // finding naming the broken law.
+  RS->setSemiring(semiring::bogusNonAssociativeForTest());
+  verify::VerifyReport Rep = verify::verifyStrategy(G, SR);
+  ASSERT_FALSE(Rep.ok());
+  EXPECT_TRUE(hasFindingFrom(Rep, "contraction-legality")) << Rep.str();
+  EXPECT_NE(Rep.str().find("violates its declared algebra"),
+            std::string::npos)
+      << Rep.str();
+}
+
 TEST(VerifyTest, FullVerifyRejectsCorruptedIlpSolution) {
   // Fault injection into the branch-and-bound partitioner itself: the
   // test hook makes solveOptimalPartition smuggle one illegal decision

@@ -58,6 +58,17 @@ FlagParse tool::parseToolFlag(const std::string &Arg, unsigned Flags,
     Opts.Seed = static_cast<uint64_t>(std::atoll(Arg.c_str() + 7));
     return FlagParse::Consumed;
   }
+  if ((Flags & TF_Semiring) && Arg.rfind("--semiring=", 0) == 0) {
+    std::string Name = Arg.substr(11);
+    const semiring::Semiring *S = semiring::byName(Name);
+    if (!S) {
+      Error = "unknown semiring '" + Name + "' (expected " +
+              semiring::allNames() + ")";
+      return FlagParse::Error;
+    }
+    Opts.SemiringSel = S;
+    return FlagParse::Consumed;
+  }
   return FlagParse::NotMine;
 }
 
@@ -73,6 +84,10 @@ std::string tool::toolFlagsHelp(unsigned Flags) {
     S += "  --verify=off|structural|full\n"
          "                         translation-validation level (default "
          "full)\n";
+  if (Flags & TF_Semiring)
+    S += "  --semiring=" + semiring::allNames() +
+         "\n"
+         "                         reduction algebra override\n";
   if (Flags & TF_Seed)
     S += "  --seed=N               input-data seed (default 1)\n";
   if (Flags & TF_Trace)

@@ -32,6 +32,7 @@
 #ifndef ALF_TOOLS_TOOLOPTIONS_H
 #define ALF_TOOLS_TOOLOPTIONS_H
 
+#include "semiring/Semiring.h"
 #include "verify/Verify.h"
 #include "xform/Strategy.h"
 
@@ -51,7 +52,8 @@ enum ToolFlag : unsigned {
   TF_Trace = 1u << 3,    ///< --trace=FILE (implies trace-level obs)
   TF_Metrics = 1u << 4,  ///< --metrics (implies counters-level obs)
   TF_Seed = 1u << 5,     ///< --seed=N
-  TF_All = (1u << 6) - 1,
+  TF_Semiring = 1u << 6, ///< --semiring=NAME (reduction algebra override)
+  TF_All = (1u << 7) - 1,
 };
 
 /// Parsed values of the shared flags, with each tool's historical
@@ -65,6 +67,9 @@ struct ToolOptions {
   std::string TraceFile;
   bool Metrics = false;
   uint64_t Seed = 1;
+  /// --semiring: null means "leave every reduction's declared algebra
+  /// alone"; set, it overrides the ⊕/⊗ of all reductions in the run.
+  const semiring::Semiring *SemiringSel = nullptr;
 };
 
 /// Outcome of offering one argv element to the shared parser.

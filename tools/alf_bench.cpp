@@ -369,6 +369,22 @@ std::vector<Case> buildSuite(bool Reduced) {
   // price of optimality in the compile pipeline.
   Suite.push_back(strategyCase(Tomcatv, N, Strategy::C2, "greedy"));
   Suite.push_back(strategyCase(Tomcatv, N, Strategy::IlpOptimal, "ilp"));
+
+  // Semiring workload zoo (appended last per the BENCH_5 contract):
+  // contracted execution of the non-(+,×) kernels — Floyd–Warshall under
+  // min-plus and transitive closure under or-and — so accumulator-init
+  // and combine specialization stay on the regression radar.
+  {
+    const std::vector<BenchmarkInfo> &Zoo = zooBenchmarks();
+    Case FW =
+        execCase(Zoo[0], N, Strategy::C2F3, ExecMode::Sequential, "seq");
+    FW.Name = "semiring.minplus";
+    Suite.push_back(std::move(FW));
+    Case TC =
+        execCase(Zoo[1], N, Strategy::C2F3, ExecMode::Sequential, "seq");
+    TC.Name = "semiring.orand";
+    Suite.push_back(std::move(TC));
+  }
   return Suite;
 }
 
@@ -569,7 +585,8 @@ int main(int argc, char **argv) {
   double Tolerance = 2.0;
   unsigned Repeats = 5;
   bool Reduced = false, List = false, SelfTest = false;
-  constexpr unsigned BenchFlags = tool::TF_Trace | tool::TF_Metrics;
+  constexpr unsigned BenchFlags =
+      tool::TF_Trace | tool::TF_Metrics | tool::TF_Semiring;
   tool::ToolOptions TO;
 
   for (int I = 1; I < argc; ++I) {
@@ -615,6 +632,20 @@ int main(int argc, char **argv) {
   }
 
   std::vector<Case> Suite = buildSuite(Reduced);
+  if (TO.SemiringSel) {
+    // --semiring=NAME keeps just that algebra's workload-zoo rows: the
+    // case name is "semiring." + the registry name with dashes dropped
+    // (min-plus -> semiring.minplus).
+    std::string Want = "semiring.";
+    for (char C : TO.SemiringSel->Name)
+      if (C != '-')
+        Want += C;
+    std::vector<Case> Kept;
+    for (Case &C : Suite)
+      if (C.Name.rfind(Want, 0) == 0)
+        Kept.push_back(std::move(C));
+    Suite = std::move(Kept);
+  }
   if (!Filter.empty()) {
     std::vector<Case> Kept;
     for (Case &C : Suite)

@@ -11,7 +11,11 @@
 // Usage: alf_stress [--count=N] [--seed=S] [--procs=P] [--threads=T]
 //                   [--emit-c] [--exec=sequential|parallel|jit]
 //                   [--strategy=NAME] [--verify=off|structural|full]
-//                   [--trace=out.json] [--metrics]
+//                   [--semiring=NAME] [--trace=out.json] [--metrics]
+//
+// --semiring=NAME pins every generated reduction to one registry
+// semiring (default: a third of the programs get reductions, rotating
+// through the whole registry by seed).
 //
 // --strategy=NAME restricts the per-program strategy loop to one named
 // strategy (any paper strategy, or "ilp" for the branch-and-bound
@@ -205,6 +209,16 @@ int main(int argc, char **argv) {
     Cfg.AllowTargetOffsets = ProgSeed % 4 == 1;
     Cfg.UseTwoRegions = ProgSeed % 5 == 0;
     Cfg.AddOpaque = ProgSeed % 7 == 0;
+    // Reductions ride along on a third of the programs, rotating through
+    // the semiring registry (or pinned to --semiring when given).
+    if (TO.SemiringSel) {
+      Cfg.NumReduce = 1 + static_cast<unsigned>(ProgSeed % 2);
+      Cfg.ReduceSemiring = TO.SemiringSel;
+    } else if (ProgSeed % 3 == 0) {
+      Cfg.NumReduce = 1 + static_cast<unsigned>(ProgSeed % 2);
+      const auto &Regs = semiring::all();
+      Cfg.ReduceSemiring = Regs[(ProgSeed / 3) % Regs.size()];
+    }
 
     auto P = generateRandomProgram(Cfg);
     driver::PipelineOptions PO;

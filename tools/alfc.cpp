@@ -5,8 +5,9 @@
 //   alfc --socket=PATH health
 //   alfc --socket=PATH stats
 //   alfc --socket=PATH compile prog.zpl [--strategy=c2] [--verify=full]
+//                                       [--semiring=min-plus]
 //   alfc --socket=PATH execute prog.zpl [--strategy=c2] [--exec=jit]
-//                                       [--seed=S]
+//                                       [--seed=S] [--semiring=min-plus]
 //   alfc --socket=PATH shutdown
 //
 // Exit status: 0 when the daemon answered ok, 2 when it answered with a
@@ -26,8 +27,9 @@ using namespace alf;
 
 namespace {
 
-constexpr unsigned AlfcFlags =
-    tool::TF_Strategy | tool::TF_Exec | tool::TF_Verify | tool::TF_Seed;
+constexpr unsigned AlfcFlags = tool::TF_Strategy | tool::TF_Exec |
+                               tool::TF_Verify | tool::TF_Semiring |
+                               tool::TF_Seed;
 
 void usage(std::ostream &OS) {
   OS << "usage: alfc --socket=PATH <health|stats|compile|execute|shutdown> "
@@ -101,11 +103,12 @@ int main(int argc, char **argv) {
     std::string Exec = TO.Exec ? xform::getExecModeName(*TO.Exec) : "";
     std::string Verify =
         TO.VerifySet ? verify::getVerifyLevelName(TO.Verify) : "";
+    std::string Semiring = TO.SemiringSel ? TO.SemiringSel->Name : "";
     Req = Op == "compile"
               ? serve::Client::makeCompile(Buf.str(), Strategy, Exec,
-                                           Verify)
+                                           Verify, Semiring)
               : serve::Client::makeExecute(Buf.str(), Strategy, Exec,
-                                           Verify, TO.Seed);
+                                           Verify, TO.Seed, Semiring);
   } else {
     std::cerr << "alfc: unknown op '" << Op << "'\n";
     usage(std::cerr);
