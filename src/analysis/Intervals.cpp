@@ -1,0 +1,150 @@
+//===- analysis/Intervals.cpp - Symbolic affine interval domain -----------===//
+
+#include "analysis/Intervals.h"
+
+#include "support/StringUtil.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+using namespace alf;
+using namespace alf::analysis;
+
+void AffineBound::addTerm(const ir::Region *R, unsigned Dim, bool IsHi,
+                          int64_t Coeff) {
+  if (Coeff == 0)
+    return;
+  auto Key = [](const Term &T) {
+    return std::make_tuple(T.R, T.Dim, T.IsHi);
+  };
+  Term New{R, Dim, IsHi, Coeff};
+  auto It = std::lower_bound(
+      Terms.begin(), Terms.end(), New,
+      [&](const Term &A, const Term &B) { return Key(A) < Key(B); });
+  if (It != Terms.end() && Key(*It) == Key(New)) {
+    It->Coeff += Coeff;
+    if (It->Coeff == 0)
+      Terms.erase(It);
+    return;
+  }
+  Terms.insert(It, New);
+}
+
+AffineBound AffineBound::constant(int64_t C) {
+  AffineBound B;
+  B.Const = C;
+  return B;
+}
+
+AffineBound AffineBound::lo(const ir::Region *R, unsigned D) {
+  AffineBound B;
+  B.addTerm(R, D, /*IsHi=*/false, 1);
+  return B;
+}
+
+AffineBound AffineBound::hi(const ir::Region *R, unsigned D) {
+  AffineBound B;
+  B.addTerm(R, D, /*IsHi=*/true, 1);
+  return B;
+}
+
+namespace alf {
+namespace analysis {
+
+// Friend operators must be defined inside the namespace (a qualified
+// definition does not redeclare a friend-only name).
+AffineBound operator-(const AffineBound &A, const AffineBound &B) {
+  AffineBound Out = A;
+  Out.Const -= B.Const;
+  for (const AffineBound::Term &T : B.Terms)
+    Out.addTerm(T.R, T.Dim, T.IsHi, -T.Coeff);
+  return Out;
+}
+
+} // namespace analysis
+} // namespace alf
+
+int64_t AffineBound::evaluate() const {
+  int64_t V = Const;
+  for (const Term &T : Terms)
+    V += T.Coeff * (T.IsHi ? T.R->hi(T.Dim) : T.R->lo(T.Dim));
+  return V;
+}
+
+std::string AffineBound::str() const {
+  std::string Out;
+  for (const Term &T : Terms) {
+    if (!Out.empty())
+      Out += T.Coeff < 0 ? " - " : " + ";
+    else if (T.Coeff < 0)
+      Out += "-";
+    int64_t Mag = T.Coeff < 0 ? -T.Coeff : T.Coeff;
+    if (Mag != 1)
+      Out += formatString("%lld*", static_cast<long long>(Mag));
+    Out += formatString("%s(%s,%u)", T.IsHi ? "hi" : "lo",
+                        T.R->str().c_str(), T.Dim);
+  }
+  if (Out.empty())
+    return formatString("%lld", static_cast<long long>(Const));
+  if (Const != 0)
+    Out += formatString(" %c %lld", Const < 0 ? '-' : '+',
+                        static_cast<long long>(Const < 0 ? -Const : Const));
+  return Out;
+}
+
+SymInterval SymInterval::ofDim(const ir::Region *R, unsigned D,
+                               int64_t Shift) {
+  return SymInterval{AffineBound::lo(R, D) + Shift,
+                     AffineBound::hi(R, D) + Shift};
+}
+
+std::string SymInterval::str() const {
+  std::string Out = "[";
+  Out += Lo.str();
+  Out += " .. ";
+  Out += Hi.str();
+  Out += "]";
+  return Out;
+}
+
+BoundProof analysis::weakerProof(BoundProof A, BoundProof B) {
+  if (A == BoundProof::Disproved || B == BoundProof::Disproved)
+    return BoundProof::Disproved;
+  if (A == BoundProof::Concrete || B == BoundProof::Concrete)
+    return BoundProof::Concrete;
+  return BoundProof::Symbolic;
+}
+
+BoundProof analysis::proveLeq(const AffineBound &A, const AffineBound &B) {
+  AffineBound D = B - A;
+  if (D.isConstant())
+    return D.constant() >= 0 ? BoundProof::Symbolic : BoundProof::Disproved;
+
+  // D is provably nonnegative when it matches `c + Σ k·(hi−lo)` with
+  // c >= 0 and every k >= 0: a region dimension's extent is at least 1,
+  // so each (hi − lo) term is >= 0. Pair each dimension's hi and lo
+  // coefficients and require them to cancel with the hi side nonnegative.
+  bool Symbolic = D.constant() >= 0;
+  std::map<std::pair<const ir::Region *, unsigned>, int64_t> PairSum;
+  for (const AffineBound::Term &T : D.terms()) {
+    PairSum[{T.R, T.Dim}] += T.Coeff;
+    if (T.IsHi && T.Coeff < 0)
+      Symbolic = false;
+    if (!T.IsHi && T.Coeff > 0)
+      Symbolic = false;
+  }
+  for (const auto &[Key, Sum] : PairSum)
+    if (Sum != 0)
+      Symbolic = false;
+  if (Symbolic)
+    return BoundProof::Symbolic;
+
+  return D.evaluate() >= 0 ? BoundProof::Concrete : BoundProof::Disproved;
+}
+
+BoundProof analysis::proveContains(const SymInterval &Outer,
+                                   const SymInterval &Inner) {
+  return weakerProof(proveLeq(Outer.Lo, Inner.Lo),
+                     proveLeq(Inner.Hi, Outer.Hi));
+}

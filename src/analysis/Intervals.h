@@ -1,0 +1,129 @@
+//===- analysis/Intervals.h - Symbolic affine interval domain --*- C++ -*-===//
+//
+// Part of the ALF project: array-level fusion and contraction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small symbolic interval domain over region bounds. The safety
+/// checker (verify/SafetyChecker.cpp) ranges every loop induction
+/// variable and affine index expression over intervals whose endpoints
+/// are affine forms `c + Σ k·p`, where each parameter `p` is the lower
+/// or upper bound of some `ir::Region` dimension. Because regions are
+/// interned by the Program, a parameter is identified by the region
+/// pointer plus dimension — two accesses through the same region share
+/// parameters exactly, and inequalities between affine forms can often
+/// be discharged *symbolically*: they then hold for every instantiation
+/// of the extents, not just the one the witness regions happen to carry.
+///
+/// The only algebraic fact the prover uses is `hi(R,d) >= lo(R,d)`
+/// (regions are nonempty), so a difference that reduces to
+/// `c + Σ k·(hi−lo)` with `c >= 0` and every `k >= 0` is provably
+/// nonnegative. Anything else falls back to evaluating the affine forms
+/// at the witness bounds the regions carry — still a sound verdict for
+/// the program instance at hand, just not a for-all-extents proof.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALF_ANALYSIS_INTERVALS_H
+#define ALF_ANALYSIS_INTERVALS_H
+
+#include "ir/Region.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace alf {
+namespace analysis {
+
+/// An affine form `Const + Σ Coeff·param` where each parameter is the
+/// inclusive lower or upper bound of one dimension of an interned
+/// region. Terms with zero coefficient are never stored.
+class AffineBound {
+public:
+  struct Term {
+    const ir::Region *R = nullptr;
+    unsigned Dim = 0;
+    bool IsHi = false;
+    int64_t Coeff = 0;
+  };
+
+private:
+  int64_t Const = 0;
+  std::vector<Term> Terms; ///< sorted by (R, Dim, IsHi); coeffs nonzero
+
+  void addTerm(const ir::Region *R, unsigned Dim, bool IsHi, int64_t Coeff);
+
+public:
+  AffineBound() = default;
+
+  /// The constant form `C`.
+  static AffineBound constant(int64_t C);
+
+  /// The parameter `lo(R, D)`.
+  static AffineBound lo(const ir::Region *R, unsigned D);
+
+  /// The parameter `hi(R, D)`.
+  static AffineBound hi(const ir::Region *R, unsigned D);
+
+  AffineBound &operator+=(int64_t C) {
+    Const += C;
+    return *this;
+  }
+
+  friend AffineBound operator+(AffineBound A, int64_t C) {
+    A += C;
+    return A;
+  }
+
+  /// Term-wise difference `A − B`.
+  friend AffineBound operator-(const AffineBound &A, const AffineBound &B);
+
+  bool isConstant() const { return Terms.empty(); }
+  int64_t constant() const { return Const; }
+  const std::vector<Term> &terms() const { return Terms; }
+
+  /// The form's value at the witness instantiation: each parameter
+  /// evaluates to the bound its region actually carries.
+  int64_t evaluate() const;
+
+  /// Renders as e.g. "lo(R,0) + 2" for diagnostics.
+  std::string str() const;
+};
+
+/// An inclusive symbolic interval [Lo, Hi].
+struct SymInterval {
+  AffineBound Lo;
+  AffineBound Hi;
+
+  /// The interval an induction variable ranging over dimension \p D of
+  /// \p R takes, shifted by the constant reference offset \p Shift.
+  static SymInterval ofDim(const ir::Region *R, unsigned D, int64_t Shift);
+
+  std::string str() const;
+};
+
+/// Strength of a discharged (or failed) inequality.
+enum class BoundProof {
+  Symbolic,  ///< holds for every instantiation of the region parameters
+  Concrete,  ///< holds at the witness bounds only
+  Disproved, ///< fails at the witness bounds
+};
+
+/// Attempts to prove `A <= B`. Symbolic when `B − A` reduces to
+/// `c + Σ k·(hi−lo)` with `c >= 0` and all `k >= 0`; otherwise the
+/// verdict comes from the witness evaluation.
+BoundProof proveLeq(const AffineBound &A, const AffineBound &B);
+
+/// Attempts to prove `Inner ⊆ Outer`; the weaker of the two side
+/// proofs (Disproved dominates Concrete dominates Symbolic).
+BoundProof proveContains(const SymInterval &Outer, const SymInterval &Inner);
+
+/// The weaker of two proof strengths.
+BoundProof weakerProof(BoundProof A, BoundProof B);
+
+} // namespace analysis
+} // namespace alf
+
+#endif // ALF_ANALYSIS_INTERVALS_H

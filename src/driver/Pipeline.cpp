@@ -115,6 +115,10 @@ lir::LoopProgram Pipeline::scalarize(const StrategyResult &SR) {
     obs::Span S("pipeline.comm.loop");
     comm::insertLoopLevelComm(LP);
   }
+  if (Opts.Verify >= verify::VerifyLevel::Safety) {
+    obs::Span S("pipeline.verify", "safety");
+    check(verify::verifySafety(LP, &*G));
+  }
   return LP;
 }
 
@@ -126,6 +130,8 @@ const char *driver::getCompileCodeName(CompileCode C) {
     return "invalid-program";
   case CompileCode::VerifyRejected:
     return "verify-rejected";
+  case CompileCode::UnsafeProgram:
+    return "unsafe-program";
   }
   return "?";
 }
@@ -178,10 +184,18 @@ CompileStatus Pipeline::tryCompile(const CompileRequest &Req) {
   St.SR = std::move(SR);
 
   if (Findings.Findings.size() > Before) {
-    St.Code = CompileCode::VerifyRejected;
     St.Findings.Findings.assign(Findings.Findings.begin() + Before,
                                 Findings.Findings.end());
     St.Message = St.Findings.Findings.front().str();
+    // A safety-only rejection gets its own stable wire code so serving
+    // clients can tell "your program is memory-unsafe" apart from "the
+    // compiler failed its own proof". Any legality finding dominates.
+    bool AllSafety = true;
+    for (const verify::VerifyFinding &F : St.Findings.Findings)
+      if (F.Pass.rfind("safety", 0) != 0)
+        AllSafety = false;
+    St.Code = AllSafety ? CompileCode::UnsafeProgram
+                        : CompileCode::VerifyRejected;
   }
   return St;
 }

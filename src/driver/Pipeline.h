@@ -72,8 +72,11 @@ struct PipelineOptions {
   /// Structural re-checks the IR and graph after every ASDG build; Full
   /// additionally diffs the dependence oracle, re-proves every strategy
   /// result against Definitions 5 and 6, and race-checks every parallel
-  /// schedule before running it. Defaults to the ALF_VERIFY environment
-  /// variable (ctest exports "full"), else Structural.
+  /// schedule before running it; Safety additionally runs the
+  /// memory-safety checker over every scalarized program (tryCompile
+  /// reports its findings as CompileCode::UnsafeProgram). Defaults to
+  /// the ALF_VERIFY environment variable (ctest exports "full"), else
+  /// Structural.
   verify::VerifyLevel Verify = verify::defaultVerifyLevel();
 
   /// Called with the findings when a verification pass rejects. When
@@ -106,11 +109,13 @@ enum class CompileCode {
   Ok,             ///< Artifact produced; every requested proof passed.
   InvalidProgram, ///< The (prepared) program fails IR verification.
   VerifyRejected, ///< A translation-validation pass rejected a product.
+  UnsafeProgram,  ///< The safety checker (VerifyLevel::Safety) proved a
+                  ///< memory-safety violation in the scalarized form.
 };
 
-/// Printable name ("ok", "invalid-program", "verify-rejected") — these
-/// are wire-protocol error codes for the serving layer, so they are
-/// stable.
+/// Printable name ("ok", "invalid-program", "verify-rejected",
+/// "unsafe-program") — these are wire-protocol error codes for the
+/// serving layer, so they are stable.
 const char *getCompileCodeName(CompileCode C);
 
 /// The structured outcome of one Pipeline::tryCompile: status plus, when

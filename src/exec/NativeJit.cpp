@@ -38,6 +38,10 @@ ALF_STATISTIC(NumJitFallbacks, "jit",
               "Runs that fell back to the sequential interpreter");
 ALF_STATISTIC(NumJitCacheEvictions, "jit",
               "On-disk cache entries evicted by the size bound");
+ALF_STATISTIC(NumSanitizedRuns, "jit",
+              "Out-of-process sanitizer oracle executions");
+ALF_STATISTIC(NumSanitizedReports, "jit",
+              "Sanitizer oracle runs that reported a violation");
 
 /// The kernel function name inside every emitted module.
 constexpr const char *KernelName = "alf_kernel";
@@ -382,4 +386,77 @@ RunResult exec::runNativeJit(const LoopProgram &LP, uint64_t Seed,
                              JitRunInfo *Info) {
   static JitEngine SharedEngine;
   return SharedEngine.run(LP, Seed, Info);
+}
+
+SanitizedRunResult exec::runSanitized(const LoopProgram &LP, uint64_t Seed,
+                                      const JitOptions &InOpts) {
+  SanitizedRunResult R;
+  if (!InOpts.Sanitize) {
+    R.Output = "sanitizer oracle disabled (JitOptions::Sanitize is off)";
+    return R;
+  }
+  JitOptions Opts = InOpts;
+  if (Opts.CacheDir.empty())
+    Opts.CacheDir = defaultCacheDir();
+
+  scalarize::CEmitResult Src =
+      scalarize::emitCWithHarnessChecked(LP, KernelName, Seed);
+  if (!Src.ok()) {
+    R.Output = "emission failed: " + Src.Error;
+    return R;
+  }
+
+  // The harness is pid-suffixed and deleted after the run: a sanitized
+  // executable is an oracle verdict, not a reusable kernel, so it never
+  // enters the shared .so cache.
+  std::error_code EC;
+  std::filesystem::create_directories(Opts.CacheDir, EC);
+  uint64_t Hash = hashName(Src.Source + '\x1f' + Opts.Compiler + ' ' +
+                           Opts.SanitizeFlags);
+  std::string Base =
+      Opts.CacheDir + "/" +
+      formatString("alf-san-%016llx-%d",
+                   static_cast<unsigned long long>(Hash), getpid());
+  std::string SrcPath = Base + ".c";
+  std::string ExePath = Base + ".bin";
+  {
+    std::ofstream Out(SrcPath);
+    Out << Src.Source;
+    if (!Out) {
+      R.Output = "cannot write harness source to " + SrcPath;
+      return R;
+    }
+  }
+  std::string Cmd = Opts.Compiler + " " + Opts.SanitizeFlags + " -o " +
+                    ExePath + " " + SrcPath + " -lm";
+  CommandResult Compile = [&] {
+    obs::Span S("jit.sanitize.compile");
+    return runCommand(Cmd, Opts.CompileTimeoutSec);
+  }();
+  if (!Compile.ok()) {
+    std::filesystem::remove(SrcPath, EC);
+    std::filesystem::remove(ExePath, EC);
+    R.Output = Compile.TimedOut
+                   ? formatString("sanitized compile exceeded the %u s "
+                                  "CPU budget",
+                                  Opts.CompileTimeoutSec)
+                   : "sanitized compile failed: " + Compile.Output;
+    return R;
+  }
+
+  ++NumSanitizedRuns;
+  CommandResult Run = [&] {
+    obs::Span S("jit.sanitize.run");
+    return runCommand(ExePath, Opts.CompileTimeoutSec);
+  }();
+  std::filesystem::remove(SrcPath, EC);
+  std::filesystem::remove(ExePath, EC);
+
+  R.Ran = true;
+  R.ExitCode = Run.ExitCode;
+  R.Output = Run.Output;
+  R.Clean = Run.ok() && !Run.TimedOut;
+  if (!R.Clean)
+    ++NumSanitizedReports;
+  return R;
 }

@@ -69,6 +69,31 @@ struct JitOptions {
   /// just installed is never evicted, and disk hits refresh an entry's
   /// mtime so hot kernels survive. 0 disables the bound.
   uint64_t MaxCacheBytes = 0;
+
+  /// Enables the sanitizer-tier dynamic oracle (runSanitized): emitted
+  /// kernels are additionally compiled as standalone harness executables
+  /// with SanitizeFlags and run out of process, so any out-of-bounds
+  /// access or uninitialized read the static safety checker should have
+  /// caught aborts with a sanitizer report instead of silently corrupting
+  /// memory. The dlopen JIT path is unchanged — the ASan runtime does not
+  /// survive into a shared object loaded by an unsanitized host, which is
+  /// why the oracle always runs as a separate process.
+  bool Sanitize = false;
+
+  /// Flags for the sanitized harness build. -O1 keeps shadow checks on
+  /// every access; -fno-sanitize-recover=all turns the first finding into
+  /// a nonzero exit so the oracle's verdict is just the exit code.
+  std::string SanitizeFlags = "-std=c99 -O1 -g -ffp-contract=off "
+                              "-fsanitize=address,undefined "
+                              "-fno-sanitize-recover=all";
+};
+
+/// Outcome of one runSanitized oracle run.
+struct SanitizedRunResult {
+  bool Ran = false;   ///< The harness compiled and executed.
+  bool Clean = false; ///< Ran and exited 0: no sanitizer report.
+  int ExitCode = -1;  ///< Harness exit code (sanitizers exit nonzero).
+  std::string Output; ///< Emission/compile diagnostics or the report.
 };
 
 /// What happened on one JitEngine::run call (for tests and reports).
@@ -181,6 +206,18 @@ private:
 /// dispatches to.
 RunResult runNativeJit(const lir::LoopProgram &LP, uint64_t Seed,
                        JitRunInfo *Info = nullptr);
+
+/// The sanitizer-tier dynamic oracle: emits \p LP's kernel together with
+/// its self-seeding main() harness (scalarize::emitCWithHarnessChecked,
+/// seeded with \p Seed), compiles it as a standalone executable with
+/// \p Opts.SanitizeFlags, and runs it out of process. Clean means the
+/// harness exited 0 — every load and store passed the ASan/UBSan checks
+/// on real hardware — so the StressSweepTest sweep can assert that
+/// programs the static safety checker certifies also run sanitizer-clean.
+/// Requires \p Opts.Sanitize; returns Ran=false (with the reason in
+/// Output) when the oracle is disabled or any build step fails.
+SanitizedRunResult runSanitized(const lir::LoopProgram &LP, uint64_t Seed,
+                                const JitOptions &Opts = JitOptions());
 
 } // namespace exec
 } // namespace alf

@@ -5,6 +5,8 @@
 #include "support/Random.h"
 #include "support/StringUtil.h"
 
+#include <set>
+
 using namespace alf;
 using namespace alf::ir;
 
@@ -102,5 +104,28 @@ std::unique_ptr<Program> ir::generateRandomProgram(const GeneratorConfig &Cfg) {
               {Persistent.back()}, {}, {}, 2.0,
               /*GlobalReduction=*/true);
   }
+
+  // A temporary the statements read but never write would be an undefined
+  // read at source level (the executors' zero-fill masks it; lint and the
+  // safety checker reject it). Promote such temps to live-in so the
+  // program genuinely means "the caller provides this value" — the RNG
+  // stream and statement structure are untouched.
+  std::set<const ArraySymbol *> Read, Written;
+  for (const Stmt *S : P->stmts()) {
+    if (const auto *NS = dyn_cast<NormalizedStmt>(S)) {
+      Written.insert(NS->getLHS());
+      for (const ArrayRefExpr *Ref : collectArrayRefs(NS->getRHS()))
+        Read.insert(Ref->getSymbol());
+    } else if (const auto *RS = dyn_cast<ReduceStmt>(S)) {
+      for (const ArrayRefExpr *Ref : collectArrayRefs(RS->getBody()))
+        Read.insert(Ref->getSymbol());
+    } else if (const auto *OS = dyn_cast<OpaqueStmt>(S)) {
+      Read.insert(OS->arrayReads().begin(), OS->arrayReads().end());
+      Written.insert(OS->arrayWrites().begin(), OS->arrayWrites().end());
+    }
+  }
+  for (ArraySymbol *T : Temps)
+    if (Read.count(T) && !Written.count(T))
+      T->setLiveIn();
   return P;
 }

@@ -86,6 +86,16 @@ public:
   /// reads survive cannot be contracted either.
   bool isLiveIn() const { return LiveIn; }
 
+  /// Promotes the array to live-in. Program builders use this when an
+  /// array turns out to be read without ever being written: the read is
+  /// only well-defined if the caller provides the value (the random
+  /// generator promotes such temporaries so its programs stay meaningful
+  /// at source level).
+  void setLiveIn() {
+    assert(!CompilerTemp && "compiler temporaries are local to the fragment");
+    LiveIn = true;
+  }
+
   static bool classof(const Symbol *S) {
     return S->getKind() == SymbolKind::Array;
   }

@@ -144,6 +144,7 @@ class LoopProgram {
   const ir::Program *Src = nullptr;
   std::vector<std::unique_ptr<LNode>> Nodes;
   std::vector<std::unique_ptr<ir::ScalarSymbol>> OwnedScalars;
+  std::vector<std::unique_ptr<ir::Region>> OwnedRegions;
   std::map<const ir::ArraySymbol *, const ir::ScalarSymbol *> ContractionMap;
   std::map<const ir::ArraySymbol *, xform::PartialPlan> PartialMap;
 
@@ -167,6 +168,15 @@ public:
 
   /// Registers \p A as contracted and returns its replacement scalar.
   const ir::ScalarSymbol *addContraction(const ir::ArraySymbol *A);
+
+  /// Takes ownership of \p R and returns a stable pointer with the
+  /// LoopProgram's lifetime. Source-program regions are interned by the
+  /// Program; nests whose region is synthesized after scalarization
+  /// (fault-injection hooks, ablation experiments) park theirs here.
+  const ir::Region *ownRegion(ir::Region R) {
+    OwnedRegions.push_back(std::make_unique<ir::Region>(std::move(R)));
+    return OwnedRegions.back().get();
+  }
 
   /// The scalar replacing \p A, or null when A was not contracted.
   const ir::ScalarSymbol *scalarFor(const ir::ArraySymbol *A) const {

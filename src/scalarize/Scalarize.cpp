@@ -2,6 +2,7 @@
 
 #include "scalarize/Scalarize.h"
 
+#include "analysis/Footprint.h"
 #include "support/ErrorHandling.h"
 #include "support/Statistic.h"
 
@@ -52,7 +53,133 @@ topoSort(const std::vector<unsigned> &Nodes,
   return Order;
 }
 
+ScalarizeCorruption TestCorruption = ScalarizeCorruption::None;
+bool TestCorruptionApplied = false;
+
+/// Replaces \p Nest's region with a copy whose dimension-0 upper bound is
+/// shifted by \p Delta, parked in the LoopProgram's owned-region store.
+void shiftNestBound(LoopProgram &LP, LoopNest &Nest, int64_t Delta) {
+  std::vector<int64_t> Lo, Hi;
+  for (unsigned D = 0; D < Nest.R->rank(); ++D) {
+    Lo.push_back(Nest.R->lo(D));
+    Hi.push_back(Nest.R->hi(D));
+  }
+  Hi[0] += Delta;
+  Nest.R = LP.ownRegion(Region(std::move(Lo), std::move(Hi)));
+  TestCorruptionApplied = true;
+}
+
+/// Applies the installed test corruption to \p LP. Each mode targets the
+/// first site where the plant provably produces the bug it names, so the
+/// injected-bug tests are deterministic rather than seed-dependent.
+void applyCorruptionForTest(LoopProgram &LP) {
+  TestCorruptionApplied = false;
+  if (TestCorruption == ScalarizeCorruption::None)
+    return;
+
+  if (TestCorruption == ScalarizeCorruption::SkipAccumulatorInit) {
+    for (auto &Node : LP.nodesMutable())
+      if (auto *Nest = dyn_cast<LoopNest>(Node.get()))
+        if (!Nest->ScalarInits.empty()) {
+          Nest->ScalarInits.erase(Nest->ScalarInits.begin());
+          TestCorruptionApplied = true;
+          return;
+        }
+    return;
+  }
+
+  analysis::FootprintInfo FI = analysis::FootprintInfo::compute(LP.source());
+
+  if (TestCorruption == ScalarizeCorruption::OffByOneBound) {
+    // Target an access that already touches its array's allocation edge
+    // along dimension 0, so the grown bound escapes the footprint rather
+    // than landing inside another reference's halo.
+    for (auto &Node : LP.nodesMutable()) {
+      auto *Nest = dyn_cast<LoopNest>(Node.get());
+      if (!Nest || !Nest->R)
+        continue;
+      auto Escapes = [&](const ArraySymbol *A, const Offset &Off) {
+        if (LP.partialPlanFor(A) || Off.rank() != Nest->R->rank())
+          return false;
+        const Region *Alloc = FI.boundsFor(A);
+        return Alloc && Alloc->rank() == Nest->R->rank() &&
+               Nest->R->hi(0) + 1 + Off[0] > Alloc->hi(0);
+      };
+      for (const ScalarStmt &SS : Nest->Body) {
+        if (!SS.LHS.isScalar() && Escapes(SS.LHS.Array, SS.LHS.Off)) {
+          shiftNestBound(LP, *Nest, 1);
+          return;
+        }
+        for (const ArrayRefExpr *Ref : collectArrayRefs(SS.RHS.get()))
+          if (Escapes(Ref->getSymbol(), Ref->getOffset())) {
+            shiftNestBound(LP, *Nest, 1);
+            return;
+          }
+      }
+    }
+    return;
+  }
+
+  // ShrunkenCopyOut: shrink a nest writing a live-out array, picking a
+  // write no other (unshrunken) store still covers, so the truncation is
+  // observable in the copy-out coverage.
+  for (auto &Node : LP.nodesMutable()) {
+    auto *Nest = dyn_cast<LoopNest>(Node.get());
+    if (!Nest || !Nest->R || Nest->R->extent(0) < 2)
+      continue;
+    for (const ScalarStmt &SS : Nest->Body) {
+      if (SS.LHS.isScalar())
+        continue;
+      const ArraySymbol *A = SS.LHS.Array;
+      if (!A->isLiveOut() || LP.partialPlanFor(A) ||
+          SS.LHS.Off.rank() != Nest->R->rank())
+        continue;
+      // Mirror the checker's copy-out exclusion: an opaque writer
+      // re-establishes whatever the source wrote, so shrinking this
+      // nest would not actually truncate the array's copy-out.
+      bool OpaqueWrite = false;
+      for (const auto &Other : LP.nodes())
+        if (const auto *Op = dyn_cast<OpaqueOp>(Other.get()))
+          if (Op->Src && std::count(Op->Src->arrayWrites().begin(),
+                                    Op->Src->arrayWrites().end(), A))
+            OpaqueWrite = true;
+      if (OpaqueWrite)
+        continue;
+      // The plane the shrink loses: dimension-0 index R.hi + Off[0].
+      int64_t Lost = Nest->R->hi(0) + SS.LHS.Off[0];
+      bool Recovered = false;
+      for (const auto &Other : LP.nodes()) {
+        const auto *ON = dyn_cast<LoopNest>(Other.get());
+        if (!ON || !ON->R || ON->R->rank() != Nest->R->rank())
+          continue;
+        for (const ScalarStmt &OS : ON->Body) {
+          if (OS.LHS.isScalar() || OS.LHS.Array != A)
+            continue;
+          if (&OS == &SS)
+            continue;
+          int64_t Hi0 = ON->R->hi(0) + OS.LHS.Off[0] -
+                        (ON == Nest ? 1 : 0);
+          if (Hi0 >= Lost)
+            Recovered = true;
+        }
+      }
+      if (!Recovered) {
+        shiftNestBound(LP, *Nest, -1);
+        return;
+      }
+    }
+  }
+}
+
 } // namespace
+
+void scalarize::setScalarizeCorruptionForTest(ScalarizeCorruption Mode) {
+  TestCorruption = Mode;
+}
+
+bool scalarize::scalarizeCorruptionAppliedForTest() {
+  return TestCorruptionApplied;
+}
 
 std::optional<lir::LoopProgram>
 scalarize::scalarizeChecked(const ASDG &G, const StrategyResult &SR,
@@ -168,6 +295,7 @@ scalarize::scalarizeChecked(const ASDG &G, const StrategyResult &SR,
     }
     LP.addNode(std::move(Nest));
   }
+  applyCorruptionForTest(LP);
   return LP;
 }
 

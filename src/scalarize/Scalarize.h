@@ -53,6 +53,35 @@ lir::LoopProgram
 scalarizeWithPartialContraction(const analysis::ASDG &G, xform::Strategy S,
                                 const xform::SequentialDims &Seq);
 
+/// Fault-injection modes for testing the safety checker, mirroring the
+/// ASDG corruption hooks (analysis/ASDG.h) and setIlpCorruptionForTest:
+/// each mode plants one memory-safety bug in the next scalarization.
+enum class ScalarizeCorruption {
+  None,
+  /// Grows one nest's region by one along dimension 0, targeting a nest
+  /// whose grown accesses provably escape an array's allocation (so the
+  /// plant is never masked by another reference's halo).
+  OffByOneBound,
+  /// Drops the ⊕-identity initialization of one reduction accumulator.
+  SkipAccumulatorInit,
+  /// Shrinks the region of a nest writing a live-out array by one plane
+  /// along dimension 0, truncating the copy-out the source promises.
+  ShrunkenCopyOut,
+};
+
+/// Installs \p Mode for subsequent scalarizations. Never called by the
+/// pipeline: VerifyTest and the StressSweepTest.SafetyAgrees sweep plant
+/// one bug per mode and assert verify::verifySafety rejects the result
+/// statically, before anything executes.
+void setScalarizeCorruptionForTest(ScalarizeCorruption Mode);
+
+/// Whether the most recent scalarization actually planted the installed
+/// corruption. Each mode needs a suitable site (an edge-touching access,
+/// a reduction accumulator, a live-out store); on generated programs
+/// without one the hook is a no-op, and sweep tests use this to skip the
+/// must-reject assertion rather than demand findings in a clean program.
+bool scalarizeCorruptionAppliedForTest();
+
 } // namespace scalarize
 } // namespace alf
 

@@ -80,6 +80,12 @@ struct CompiledEntry {
   std::string ErrorCode;    ///< "parse" or a driver::getCompileCodeName
   std::string ErrorMessage; ///< first diagnostic, one line
 
+  /// Every verification finding ("[pass] message" renderings) behind a
+  /// verify-rejected or unsafe-program failure. Cached with the entry so
+  /// a negative-cache hit replays the full diagnosis, not just the
+  /// leading line.
+  std::vector<std::string> ErrorFindings;
+
   std::unique_ptr<ir::Program> P;
   std::optional<driver::CompiledProgram> CP;
 

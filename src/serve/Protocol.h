@@ -70,7 +70,9 @@ json::Value makeOk();
 
 /// `{"ok": false, "error": code, "message": message}`. Codes are stable
 /// wire strings: "malformed", "too-large", "busy", "unknown-op",
-/// "parse", "invalid-program", "verify-rejected", "shutting-down".
+/// "parse", "invalid-program", "verify-rejected", "unsafe-program",
+/// "shutting-down". Compile rejections additionally carry a "findings"
+/// array with every "[pass] message" diagnostic (see Server.cpp).
 json::Value makeError(const std::string &Code, const std::string &Message);
 
 } // namespace serve

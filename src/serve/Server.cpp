@@ -362,6 +362,8 @@ json::Value Server::handleCompile(
         if (!St.ok()) {
           E.ErrorCode = driver::getCompileCodeName(St.Code);
           E.ErrorMessage = St.Message;
+          for (const verify::VerifyFinding &F : St.Findings.Findings)
+            E.ErrorFindings.push_back(F.str());
           E.CompileNs = nowNs() - T0;
           return E;
         }
@@ -378,6 +380,8 @@ json::Value Server::handleCompile(
             if (!R.ok()) {
               E.ErrorCode = "verify-rejected";
               E.ErrorMessage = R.Findings.front().str();
+              for (const verify::VerifyFinding &F : R.Findings)
+                E.ErrorFindings.push_back(F.str());
               E.CP.reset();
               E.CompileNs = nowNs() - T0;
               return E;
@@ -393,8 +397,21 @@ json::Value Server::handleCompile(
 
   if (OutEntry)
     *OutEntry = Entry;
-  if (!Entry->OK)
-    return makeError(Entry->ErrorCode, Entry->ErrorMessage);
+  if (!Entry->OK) {
+    json::Value V = makeError(Entry->ErrorCode, Entry->ErrorMessage);
+    // Rejections carry every finding, so a client sees the whole static
+    // diagnosis (e.g. each unsafe access) rather than the first line —
+    // including on negative-cache hits, which replay this entry. The
+    // cache outcome makes that replay observable.
+    V.set("cache", json::Value::str(getCacheOutcomeName(Outcome)));
+    if (!Entry->ErrorFindings.empty()) {
+      json::Value Findings = json::Value::array();
+      for (const std::string &F : Entry->ErrorFindings)
+        Findings.push(json::Value::str(F));
+      V.set("findings", Findings);
+    }
+    return V;
+  }
 
   json::Value V = makeOk();
   V.set("cache", json::Value::str(getCacheOutcomeName(Outcome)));

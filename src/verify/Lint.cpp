@@ -89,6 +89,10 @@ struct Linter {
 
   // Per array id: union of footprints written so far.
   std::map<unsigned, Box> Written;
+  // Per array id: union of footprints written anywhere in the program.
+  // A read outside even this union names elements nothing ever defines —
+  // an out-of-range offset, not merely an ordering hazard.
+  std::map<unsigned, Box> WrittenAll;
   // Per array id: ids of statements reading it (for deadness).
   std::map<unsigned, std::set<unsigned>> ReadAt;
   std::set<unsigned> Referenced; // symbol ids touched by any statement
@@ -130,6 +134,24 @@ struct Linter {
     }
   }
 
+  /// Records every write footprint of the program up front (the
+  /// out-of-range check needs the final union, not the running one).
+  void indexWrites() {
+    for (unsigned Id = 0; Id < P.numStmts(); ++Id) {
+      const Stmt *S = P.getStmt(Id);
+      if (const auto *NS = dyn_cast<NormalizedStmt>(S)) {
+        WrittenAll[NS->getLHS()->getId()].include(*NS->getRegion(),
+                                                  NS->getLHSOffset());
+        continue;
+      }
+      if (const auto *OS = dyn_cast<OpaqueStmt>(S))
+        for (const ArraySymbol *A : OS->arrayWrites())
+          if (OS->getRegion() && OS->getRegion()->rank() == A->getRank())
+            WrittenAll[A->getId()].include(*OS->getRegion(),
+                                           Offset::zero(A->getRank()));
+    }
+  }
+
   void checkReads(unsigned Id, const Region *R,
                   const std::vector<const ArrayRefExpr *> &Refs) {
     std::set<const ArraySymbol *> Diagnosed;
@@ -155,7 +177,21 @@ struct Linter {
                             A->getName().c_str()));
         continue;
       }
-      if (!It->second.covers(*R, Ref->getOffset()) && Diagnosed.insert(A).second)
+      if (It->second.covers(*R, Ref->getOffset()) ||
+          !Diagnosed.insert(A).second)
+        continue;
+      // Outside even the whole-program write union the elements are
+      // never defined by anything: the offset itself is out of range.
+      auto AllIt = WrittenAll.find(A->getId());
+      if (AllIt == WrittenAll.end() ||
+          !AllIt->second.covers(*R, Ref->getOffset()))
+        diag(LintSeverity::Error, Id,
+             formatString("reference %s%s reads elements of %s that no "
+                          "statement ever writes (out-of-range offset)",
+                          A->getName().c_str(),
+                          Ref->getOffset().str().c_str(),
+                          A->getName().c_str()));
+      else
         diag(LintSeverity::Warning, Id,
              formatString("reference %s%s reaches elements of %s outside "
                           "the footprint written so far (uninitialized "
@@ -180,6 +216,7 @@ struct Linter {
   LintResult run() {
     ++NumLintRuns;
     indexReads();
+    indexWrites();
     for (unsigned Id = 0; Id < P.numStmts(); ++Id) {
       const Stmt *S = P.getStmt(Id);
       if (const auto *NS = dyn_cast<NormalizedStmt>(S)) {

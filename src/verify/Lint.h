@@ -14,6 +14,9 @@
 ///  * error:   a read of an array that is not live-in before anything
 ///    writes it (the value is undefined in the source language; the
 ///    interpreter's zero-fill masks the bug);
+///  * error:   a read whose footprint leaves the union of every write
+///    footprint the program has for that array — the constant offset is
+///    out of range, naming elements nothing ever defines;
 ///  * warning: a read whose footprint (region shifted by the reference
 ///    offset) leaves the union of the footprints written so far — the
 ///    halo elements read as uninitialized;

@@ -15,13 +15,15 @@ const char *verify::getVerifyLevelName(VerifyLevel L) {
     return "structural";
   case VerifyLevel::Full:
     return "full";
+  case VerifyLevel::Safety:
+    return "safety";
   }
   return "off";
 }
 
 std::optional<VerifyLevel> verify::verifyLevelNamed(const std::string &Name) {
-  for (VerifyLevel L :
-       {VerifyLevel::Off, VerifyLevel::Structural, VerifyLevel::Full})
+  for (VerifyLevel L : {VerifyLevel::Off, VerifyLevel::Structural,
+                        VerifyLevel::Full, VerifyLevel::Safety})
     if (Name == getVerifyLevelName(L))
       return L;
   return std::nullopt;

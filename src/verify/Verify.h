@@ -27,6 +27,11 @@
 ///     from the scalarized bodies themselves, that every loop nest the
 ///     ParallelExecutor will run in parallel has no cross-iteration
 ///     conflict on the partitioned loop.
+///  5. verifySafety       — a memory-safety abstract interpreter over the
+///     scalarized loop nests: symbolic interval bounds proofs for every
+///     load and store, a use-before-definition dataflow over temporaries
+///     and contracted accumulators, and a cross-check that distinct
+///     clusters' write footprints do not overlap unordered by the ASDG.
 ///
 /// The frontend lint (`zplc --lint`) lives in verify/Lint.h.
 ///
@@ -58,9 +63,11 @@ namespace verify {
 ///  * Structural — pass 1 after each ASDG build: cheap, O(edges).
 ///  * Full       — passes 1-3 after analysis and strategy selection, and
 ///    the race detector before every parallel execution.
-enum class VerifyLevel { Off, Structural, Full };
+///  * Safety     — everything Full runs, plus the memory-safety checker
+///    (pass 5) over every scalarized program before it can execute.
+enum class VerifyLevel { Off, Structural, Full, Safety };
 
-/// Printable name ("off", "structural", "full").
+/// Printable name ("off", "structural", "full", "safety").
 const char *getVerifyLevelName(VerifyLevel L);
 
 /// Looks up a level by its printable name; nullopt when unknown.
@@ -121,6 +128,29 @@ VerifyReport verifyStrategy(const analysis::ASDG &G,
 /// the nests' recorded UDVs.
 VerifyReport verifyParallelSafety(const lir::LoopProgram &LP,
                                   const exec::ParallelSchedule &Sched);
+
+/// Pass 5: memory-safety proof over the scalarized form. Three sub-passes,
+/// each reported under its own name so callers can distinguish safety
+/// findings from legality findings:
+///
+///  * "safety-bounds"  — for every load and store of every loop nest, the
+///    accessed interval (nest region + reference offset, with
+///    partial-contraction wrapping applied) is proved to lie inside the
+///    array's allocated extents, re-derived from the source program's
+///    footprint. The proof is symbolic in the region bounds wherever
+///    possible, so it holds for every instantiation of the extents.
+///  * "safety-init"    — a use-before-definition dataflow: every read of a
+///    contracted scalar is dominated by a write in body order (the
+///    ⊕-identity accumulator init from the semiring table counts), every
+///    accumulation has its init, and no nest reads an array that is
+///    neither live-in nor written earlier in nest order; each live-out
+///    array's writes must still cover the source program's write
+///    footprint (a truncated copy-out region fails here).
+///  * "safety-overlap" — when \p G is supplied, two nests from distinct
+///    clusters whose write footprints on the same array overlap must be
+///    ordered by an ASDG dependence path between their clusters.
+VerifyReport verifySafety(const lir::LoopProgram &LP,
+                          const analysis::ASDG *G = nullptr);
 
 } // namespace verify
 } // namespace alf

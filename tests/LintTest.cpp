@@ -40,10 +40,11 @@ array W : R;
 [R] T := B * 0.5;
 )";
   verify::LintResult LR = lintSource(Source);
+  // Row 9 of T@(1,0) is outside every write of T in the program, so the
+  // halo read escalates to the out-of-range error.
   EXPECT_EQ(LR.render("test.zpl"),
-            "test.zpl:9:1: warning: reference T@(1,0) reaches elements of T "
-            "outside the footprint written so far (uninitialized halo "
-            "reads)\n"
+            "test.zpl:9:1: error: reference T@(1,0) reads elements of T "
+            "that no statement ever writes (out-of-range offset)\n"
             "test.zpl:10:1: error: array V has rank 1 but the statement's "
             "region has rank 2\n"
             "test.zpl:11:1: warning: dead statement: T is not live-out and "
@@ -68,6 +69,46 @@ array T : R temp;
             "t.zpl:6:1: warning: dead statement: T is not live-out and this "
             "value is never read\n");
   EXPECT_EQ(LR.exitCode(), 1);
+}
+
+TEST(LintTest, OutOfRangeConstantOffsetIsAnError) {
+  // T@(0,1) reaches column 5, which no statement ever writes: the offset
+  // itself is out of range, not merely read too early.
+  const char *Source = R"(
+region R : [1..4, 1..4];
+array A : R;
+array T : R temp;
+[R] T := A;
+[R] A := T@(0,1) + T;
+)";
+  verify::LintResult LR = lintSource(Source);
+  EXPECT_EQ(LR.render("oob.zpl"),
+            "oob.zpl:6:1: error: reference T@(0,1) reads elements of T that "
+            "no statement ever writes (out-of-range offset)\n");
+  EXPECT_EQ(LR.exitCode(), 1);
+}
+
+TEST(LintTest, HaloCoveredByALaterWriteStaysAWarning) {
+  // The same shaped read stays an ordering warning when a later statement
+  // does write the halo: the elements exist, they are just not written
+  // yet at the point of the read.
+  const char *Source = R"(
+region R : [1..6, 1..6];
+region Edge : [1..7, 1..6];
+array A : R;
+array T : R temp;
+[R] T := A;
+[R] A := T@(1,0) * 0.5;
+[Edge] T := A;
+)";
+  verify::LintResult LR = lintSource(Source);
+  EXPECT_EQ(LR.render("halo.zpl"),
+            "halo.zpl:7:1: warning: reference T@(1,0) reaches elements of T "
+            "outside the footprint written so far (uninitialized halo "
+            "reads)\n"
+            "halo.zpl:8:1: warning: dead statement: T is not live-out and "
+            "this value is never read\n");
+  EXPECT_EQ(LR.exitCode(), 0);
 }
 
 TEST(LintTest, CleanProgramHasNoDiagnosticsAndExitsZero) {

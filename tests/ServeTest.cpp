@@ -521,6 +521,47 @@ TEST_F(ServerTest, SemiringOverrideIsItsOwnCacheKey) {
   EXPECT_EQ(Bad.getString("error").value_or(""), "malformed");
 }
 
+TEST_F(ServerTest, UnsafeProgramIsVettedBeforeCompileAndNegativelyCached) {
+  // T is read but never written and is not live-in: at the requested
+  // safety tier the checker proves the read undefined and the daemon
+  // rejects the program before any kernel work is enqueued.
+  const std::string Unsafe = R"(
+region R : [1..4, 1..4];
+array A : R;
+array T : R temp;
+[R] A := T + 1.0;
+)";
+  json::Value First =
+      roundTrip(Client::makeCompile(Unsafe, "c2", "", "safety"));
+  EXPECT_EQ(First.getBool("ok").value_or(true), false);
+  EXPECT_EQ(First.getString("error").value_or(""), "unsafe-program");
+  const json::Value *Findings = First.get("findings");
+  ASSERT_NE(Findings, nullptr);
+  ASSERT_TRUE(Findings->isArray());
+  ASSERT_GE(Findings->size(), 1u);
+  EXPECT_NE(Findings->items()[0].asString().find("safety-init"),
+            std::string::npos)
+      << Findings->items()[0].asString();
+  EXPECT_NE(Findings->items()[0].asString().find("T"), std::string::npos);
+
+  // The rejection is negatively cached, and the cached entry replays the
+  // full findings — not just the error code.
+  json::Value Second =
+      roundTrip(Client::makeCompile(Unsafe, "c2", "", "safety"));
+  EXPECT_EQ(Second.getString("error").value_or(""), "unsafe-program");
+  EXPECT_EQ(Second.getString("cache").value_or(""), "hit");
+  const json::Value *Replayed = Second.get("findings");
+  ASSERT_NE(Replayed, nullptr);
+  ASSERT_TRUE(Replayed->isArray());
+  EXPECT_EQ(Replayed->size(), Findings->size());
+
+  // The same program compiles fine below the safety tier: the rejection
+  // came from the new static analysis, not from an earlier stage.
+  json::Value Full = roundTrip(Client::makeCompile(Unsafe, "c2", "", "full"));
+  EXPECT_EQ(Full.getBool("ok").value_or(false), true)
+      << Full.getString("message").value_or("");
+}
+
 TEST_F(ServerTest, MalformedFrameIsAnsweredThenDropped) {
   int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   ASSERT_GE(Fd, 0);

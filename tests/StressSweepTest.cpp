@@ -570,6 +570,68 @@ TEST_P(StressSweepTest, TracedRunsAreBitIdentical) {
       << "verification findings:\n" << Collected.str() << P->str();
 }
 
+// The safety-tier soak: every seed's program (with reductions appended so
+// accumulator-init obligations exist) must certify under the static
+// safety checker on every strategy, each scalarizer fault class the hook
+// can plant in it must be rejected statically before anything executes,
+// and a seed subset cross-checks the analyzer's "clean" verdict against
+// the sanitizer-tier JIT oracle: the emitted kernel, compiled standalone
+// with ASan/UBSan, must run clean out-of-process.
+TEST_P(StressSweepTest, SafetyAgrees) {
+  uint64_t Seed = GetParam();
+  GeneratorConfig Cfg = sweepConfig(Seed);
+  const auto &Regs = semiring::all();
+  Cfg.NumReduce = 1 + static_cast<unsigned>(Seed % 2);
+  Cfg.ReduceSemiring = Regs[Seed % Regs.size()];
+  auto P = generateRandomProgram(Cfg);
+  normalizeProgram(*P);
+  ASDG G = ASDG::build(*P);
+
+  // Analyzer-clean: every strategy's scalarization certifies.
+  for (Strategy S : allStrategies()) {
+    StrategyResult SR = applyStrategy(G, S);
+    auto LP = scalarize::scalarize(G, SR);
+    verify::VerifyReport R = verify::verifySafety(LP, &G);
+    EXPECT_TRUE(R.ok()) << getStrategyName(S) << " reported findings on a "
+                        << "clean program:\n" << R.str() << P->str();
+  }
+
+  // Each fault class the hook can plant in this seed's program must be
+  // caught statically. Not every generated program has a site for every
+  // mode (an edge-touching access, a surviving accumulator init, an
+  // uncovered live-out plane); scalarizeCorruptionAppliedForTest
+  // distinguishes "no site" from "planted and must reject".
+  StrategyResult SR = applyStrategy(G, Strategy::C2);
+  using SC = scalarize::ScalarizeCorruption;
+  for (SC Mode : {SC::OffByOneBound, SC::SkipAccumulatorInit,
+                  SC::ShrunkenCopyOut}) {
+    scalarize::setScalarizeCorruptionForTest(Mode);
+    auto Bad = scalarize::scalarize(G, SR);
+    bool Planted = scalarize::scalarizeCorruptionAppliedForTest();
+    scalarize::setScalarizeCorruptionForTest(SC::None);
+    if (!Planted)
+      continue;
+    EXPECT_FALSE(verify::verifySafety(Bad, &G).ok())
+        << "corruption mode " << static_cast<int>(Mode)
+        << " planted a memory-safety bug the checker missed\n" << P->str();
+  }
+
+  // The dynamic oracle agrees with the static verdict: analyzer-clean
+  // kernels run sanitizer-clean. A thin subset keeps the number of
+  // sanitizer compiles (never disk-cached) bounded.
+  if (Seed % 10 == 0 && JitEngine::compilerAvailable()) {
+    auto LP = scalarize::scalarize(G, SR);
+    ASSERT_TRUE(verify::verifySafety(LP, &G).ok());
+    JitOptions JO;
+    JO.Sanitize = true;
+    SanitizedRunResult San = runSanitized(LP, Seed ^ 0xfeed, JO);
+    ASSERT_TRUE(San.Ran) << "sanitizer oracle did not run: " << San.Output;
+    EXPECT_TRUE(San.Clean)
+        << "analyzer-clean kernel tripped the sanitizer (exit "
+        << San.ExitCode << "):\n" << San.Output << P->str();
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Sweep, StressSweepTest,
                          ::testing::Range<uint64_t>(1, 51));
 

@@ -42,6 +42,8 @@ TEST(ToolOptionsTest, ConsumesEveryFlagKind) {
   EXPECT_EQ(parse("--verify=structural", TF_All, TO), FlagParse::Consumed);
   EXPECT_EQ(TO.Verify, verify::VerifyLevel::Structural);
   EXPECT_TRUE(TO.VerifySet);
+  EXPECT_EQ(parse("--verify=safety", TF_All, TO), FlagParse::Consumed);
+  EXPECT_EQ(TO.Verify, verify::VerifyLevel::Safety);
   EXPECT_EQ(parse("--trace=out.json", TF_All, TO), FlagParse::Consumed);
   EXPECT_EQ(TO.TraceFile, "out.json");
   EXPECT_EQ(parse("--metrics", TF_All, TO), FlagParse::Consumed);
@@ -98,7 +100,7 @@ TEST(ToolOptionsTest, GoldenHelpText) {
       "                         fusion/contraction strategy (default c2)\n"
       "  --exec=sequential|parallel|jit\n"
       "                         execution mode\n"
-      "  --verify=off|structural|full\n"
+      "  --verify=off|structural|full|safety\n"
       "                         translation-validation level (default full)\n"
       "  --semiring=plus-times|min-plus|max-times|max-plus|or-and\n"
       "                         reduction algebra override\n"

@@ -43,10 +43,13 @@ TEST(VerifyTest, LevelNamesRoundTrip) {
   EXPECT_STREQ(verify::getVerifyLevelName(VerifyLevel::Structural),
                "structural");
   EXPECT_STREQ(verify::getVerifyLevelName(VerifyLevel::Full), "full");
+  EXPECT_STREQ(verify::getVerifyLevelName(VerifyLevel::Safety), "safety");
   EXPECT_EQ(verify::verifyLevelNamed("full"), VerifyLevel::Full);
   EXPECT_EQ(verify::verifyLevelNamed("structural"), VerifyLevel::Structural);
   EXPECT_EQ(verify::verifyLevelNamed("off"), VerifyLevel::Off);
+  EXPECT_EQ(verify::verifyLevelNamed("safety"), VerifyLevel::Safety);
   EXPECT_EQ(verify::verifyLevelNamed("bogus"), std::nullopt);
+  EXPECT_GE(VerifyLevel::Safety, VerifyLevel::Full);
 }
 
 TEST(VerifyTest, CleanProgramIsFullyCertified) {
@@ -307,6 +310,115 @@ TEST(VerifyTest, PipelineCollectsFindingsThroughHandler) {
     (void)PL.scalarize(S);
   EXPECT_EQ(Calls, 0u);
   EXPECT_TRUE(PL.verifyFindings().ok()) << PL.verifyFindings().str();
+}
+
+//===----------------------------------------------------------------------===//
+// Pass 5: the memory-safety checker over scalarized programs.
+//===----------------------------------------------------------------------===//
+
+/// Resets the scalarizer fault hook even when an ASSERT bails out of the
+/// test body early.
+struct CorruptionGuard {
+  explicit CorruptionGuard(scalarize::ScalarizeCorruption Mode) {
+    scalarize::setScalarizeCorruptionForTest(Mode);
+  }
+  ~CorruptionGuard() {
+    scalarize::setScalarizeCorruptionForTest(
+        scalarize::ScalarizeCorruption::None);
+  }
+};
+
+TEST(VerifyTest, SafetyCertifiesCleanScalarizations) {
+  // Figure 2 exercises offset loads; Tomcatv adds contracted temporaries
+  // (scalar use-before-def obligations inside one body).
+  std::unique_ptr<Program> Programs[] = {tp::makeFigure2(),
+                                         tp::makeTomcatvFragment()};
+  for (auto &P : Programs) {
+    normalizeProgram(*P);
+    ASDG G = ASDG::build(*P);
+    for (Strategy S : allStrategies()) {
+      StrategyResult SR = applyStrategy(G, S);
+      lir::LoopProgram LP = scalarize::scalarize(G, SR);
+      verify::VerifyReport R = verify::verifySafety(LP, &G);
+      EXPECT_TRUE(R.ok()) << P->getName() << "/" << getStrategyName(S)
+                          << ":\n"
+                          << R.str();
+    }
+  }
+}
+
+TEST(VerifyTest, SafetyCatchesPlantedOffByOneBound) {
+  auto P = tp::makeFigure2();
+  normalizeProgram(*P);
+  ASDG G = ASDG::build(*P);
+  StrategyResult SR = applyStrategy(G, Strategy::C2);
+  {
+    CorruptionGuard Guard(scalarize::ScalarizeCorruption::OffByOneBound);
+    lir::LoopProgram Bad = scalarize::scalarize(G, SR);
+    verify::VerifyReport Rep = verify::verifySafety(Bad, &G);
+    ASSERT_FALSE(Rep.ok());
+    EXPECT_TRUE(hasFindingFrom(Rep, "safety-bounds")) << Rep.str();
+  }
+  // Hook disarmed: the identical pipeline certifies again.
+  EXPECT_TRUE(verify::verifySafety(scalarize::scalarize(G, SR), &G).ok());
+}
+
+TEST(VerifyTest, SafetyCatchesSkippedAccumulatorInit) {
+  Program P("dot");
+  const Region *R = P.regionFromExtents({16});
+  ArraySymbol *A = P.makeArray("A", 1);
+  ArraySymbol *B = P.makeArray("B", 1);
+  ScalarSymbol *Acc = P.makeScalar("acc");
+  P.reduce(R, Acc, semiring::plusTimes(), mul(aref(A), aref(B)));
+  normalizeProgram(P);
+  ASDG G = ASDG::build(P);
+  StrategyResult SR = applyStrategy(G, Strategy::C2);
+  {
+    CorruptionGuard Guard(
+        scalarize::ScalarizeCorruption::SkipAccumulatorInit);
+    lir::LoopProgram Bad = scalarize::scalarize(G, SR);
+    verify::VerifyReport Rep = verify::verifySafety(Bad, &G);
+    ASSERT_FALSE(Rep.ok());
+    EXPECT_TRUE(hasFindingFrom(Rep, "safety-init")) << Rep.str();
+    EXPECT_NE(Rep.str().find("acc"), std::string::npos) << Rep.str();
+  }
+  EXPECT_TRUE(verify::verifySafety(scalarize::scalarize(G, SR), &G).ok());
+}
+
+TEST(VerifyTest, SafetyCatchesTruncatedCopyOut) {
+  auto P = tp::makeFigure2();
+  normalizeProgram(*P);
+  ASDG G = ASDG::build(*P);
+  StrategyResult SR = applyStrategy(G, Strategy::C2);
+  {
+    CorruptionGuard Guard(scalarize::ScalarizeCorruption::ShrunkenCopyOut);
+    lir::LoopProgram Bad = scalarize::scalarize(G, SR);
+    verify::VerifyReport Rep = verify::verifySafety(Bad, &G);
+    ASSERT_FALSE(Rep.ok());
+    EXPECT_TRUE(hasFindingFrom(Rep, "safety-init")) << Rep.str();
+    EXPECT_NE(Rep.str().find("truncated copy-out"), std::string::npos)
+        << Rep.str();
+  }
+  EXPECT_TRUE(verify::verifySafety(scalarize::scalarize(G, SR), &G).ok());
+}
+
+TEST(VerifyTest, PipelineReportsUnsafeProgramAtSafetyLevel) {
+  driver::PipelineOptions PO;
+  PO.Verify = verify::VerifyLevel::Safety;
+  {
+    auto P = tp::makeFigure2();
+    driver::Pipeline PL(*P, PO);
+    driver::CompileStatus St = PL.tryCompile(driver::CompileRequest{});
+    EXPECT_TRUE(St.ok()) << St.Message;
+  }
+  auto P = tp::makeFigure2();
+  driver::Pipeline PL(*P, PO);
+  CorruptionGuard Guard(scalarize::ScalarizeCorruption::OffByOneBound);
+  driver::CompileStatus St = PL.tryCompile(driver::CompileRequest{});
+  EXPECT_EQ(St.Code, driver::CompileCode::UnsafeProgram);
+  EXPECT_STREQ(driver::getCompileCodeName(St.Code), "unsafe-program");
+  EXPECT_FALSE(St.Findings.ok());
+  EXPECT_NE(St.Message.find("safety"), std::string::npos) << St.Message;
 }
 
 TEST(VerifyTest, VerifyStatisticsAccumulate) {

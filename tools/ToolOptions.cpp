@@ -81,7 +81,7 @@ std::string tool::toolFlagsHelp(unsigned Flags) {
     S += "  --exec=sequential|parallel|jit\n"
          "                         execution mode\n";
   if (Flags & TF_Verify)
-    S += "  --verify=off|structural|full\n"
+    S += "  --verify=off|structural|full|safety\n"
          "                         translation-validation level (default "
          "full)\n";
   if (Flags & TF_Semiring)
