@@ -8,7 +8,7 @@
 // Usage:  ./zplc [file.zpl] [--strategy=c2|baseline|c1|f1|f2|f3|c2+f3|c2+f4|ilp]
 //                [--dump-asdg] [--dump-source] [--emit-c] [--emit-f77]
 //                [--explain] [--stats] [--simulate] [--lint]
-//                [--exec=sequential|parallel|jit] [--seed=S]
+//                [--exec=sequential|parallel|jit|jit-simd] [--seed=S]
 //                [--semiring=plus-times|min-plus|max-times|max-plus|or-and]
 //                [--verify=off|structural|full]
 //                [--trace=out.json] [--metrics]

@@ -221,6 +221,8 @@ RunResult Pipeline::run(const lir::LoopProgram &LP, ExecMode Mode,
   obs::Span Sp("pipeline.execute", xform::getExecModeName(Mode));
   if (Mode == ExecMode::NativeJit)
     return jit().run(LP, Seed, JitInfo);
+  if (Mode == ExecMode::NativeJitSimd)
+    return jitSimd().run(LP, Seed, JitInfo);
   if (Mode == ExecMode::Parallel) {
     // Plan explicitly so the schedule actually executed is the schedule
     // the race detector certified.
@@ -243,6 +245,15 @@ JitEngine &Pipeline::jit() {
   if (!Jit)
     Jit = std::make_unique<JitEngine>(Opts.Jit);
   return *Jit;
+}
+
+JitEngine &Pipeline::jitSimd() {
+  if (!JitSimd) {
+    JitOptions JO = Opts.Jit;
+    JO.Vectorize = true;
+    JitSimd = std::make_unique<JitEngine>(JO);
+  }
+  return *JitSimd;
 }
 
 RunResult Pipeline::runProgram(ir::Program &P, Strategy S, ExecMode Mode,

@@ -216,6 +216,10 @@ public:
   /// use from the options' JitOptions.
   exec::JitEngine &jit();
 
+  /// The vectorizing engine backing ExecMode::NativeJitSimd runs: the
+  /// options' JitOptions with Vectorize forced on, created on first use.
+  exec::JitEngine &jitSimd();
+
   const PipelineOptions &options() const { return Opts; }
 
   /// Every verification finding accumulated so far (across all levels
@@ -246,6 +250,7 @@ private:
   bool GraphRejected = false;  ///< A verify pass rejected the shared ASDG.
   std::optional<analysis::ASDG> G;
   std::unique_ptr<exec::JitEngine> Jit;
+  std::unique_ptr<exec::JitEngine> JitSimd;
   verify::VerifyReport Findings;
 };
 

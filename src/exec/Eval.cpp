@@ -105,8 +105,8 @@ void exec::runNestLoopsRestricted(const LoopNest &Nest, EvalContext &Ctx,
 }
 
 void exec::iterateNest(const LoopNest &Nest, EvalContext &Ctx) {
-  for (const auto &[Acc, Init] : Nest.ScalarInits)
-    Ctx.writeScalar(Acc, Init);
+  for (const lir::ScalarInit &SI : Nest.ScalarInits)
+    Ctx.writeScalar(SI.Acc, SI.Init);
   std::vector<int64_t> Idx(Nest.R->rank());
   runNestLoops(Nest, Ctx, Idx, 0);
 }

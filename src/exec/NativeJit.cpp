@@ -42,6 +42,12 @@ ALF_STATISTIC(NumSanitizedRuns, "jit",
               "Out-of-process sanitizer oracle executions");
 ALF_STATISTIC(NumSanitizedReports, "jit",
               "Sanitizer oracle runs that reported a violation");
+ALF_STATISTIC(NumVectorizedNests, "jit.vectorize",
+              "Loop nests emitted as SIMD loops");
+ALF_STATISTIC(NumVectorizeFallbacks, "jit.vectorize",
+              "Loop nests the SIMD legality check refused");
+ALF_STATISTIC(NumVectorizedRuns, "jit.vectorize",
+              "Vectorize-mode runs with at least one SIMD nest");
 
 /// The kernel function name inside every emitted module.
 constexpr const char *KernelName = "alf_kernel";
@@ -133,6 +139,21 @@ void evictCacheOverage(const std::string &CacheDir, uint64_t MaxBytes,
 JitEngine::JitEngine(JitOptions InOpts) : Opts(std::move(InOpts)) {
   if (Opts.CacheDir.empty())
     Opts.CacheDir = defaultCacheDir();
+  // The vectorizing tier targets the host ISA: a JIT kernel runs on the
+  // machine that compiled it, and without -march=native the compiler
+  // lowers the emitted generic-vector ops to the portable SSE2 baseline
+  // — scalarizing 4-lane compares and selects through memory, which is
+  // slower than the scalar tier it is supposed to beat. -ffp-contract=off
+  // still governs, and -O2 never reassociates FP, so the tier's only
+  // numeric divergence remains the declared lane-fold reassociation.
+  // (The scalar tier keeps the pinned portable flags; both flag strings
+  // feed the content hash, so the tiers never collide in the cache.)
+  // Vector types wider than the target's native registers also change
+  // the ABI of the by-value lane helpers; they are module-internal
+  // (static), so the -Wpsabi note is noise — silence it without
+  // touching the correctness flags.
+  if (Opts.Vectorize)
+    Opts.Flags += " -march=native -Wno-psabi";
 }
 
 JitEngine::~JitEngine() {
@@ -310,10 +331,24 @@ void JitEngine::runOnStorage(const LoopProgram &LP, Storage &Store,
   ++NumJitRuns;
   JitRunInfo Info;
   std::string WhyNot;
+  scalarize::CEmitOptions EmitOpts;
+  EmitOpts.Vectorize = Opts.Vectorize;
+  EmitOpts.VectorWidth = Opts.VectorWidth;
   scalarize::CModule Module = [&] {
-    obs::Span S("jit.emit");
-    return scalarize::emitCModule(LP, KernelName);
+    obs::Span S(Opts.Vectorize ? "jit.vectorize" : "jit.emit");
+    return scalarize::emitCModule(LP, KernelName, EmitOpts);
   }();
+  if (Opts.Vectorize && Module.ok()) {
+    Info.VectorizedNests = Module.NumVectorizedNests;
+    Info.VectorFallbacks = Module.NumVectorFallbacks;
+    Info.Reassociated = Module.Reassociated;
+    NumVectorizedNests += Module.NumVectorizedNests;
+    NumVectorizeFallbacks += Module.NumVectorFallbacks;
+    if (Module.NumVectorizedNests)
+      ++NumVectorizedRuns;
+    for (unsigned I = 0; I < Module.NumVectorFallbacks; ++I)
+      obs::instant("jit.vectorize.fallback");
+  }
   LoadedKernel *Kernel = nullptr;
   if (!Module.ok())
     WhyNot = "emission failed: " + Module.Error;
@@ -388,6 +423,16 @@ RunResult exec::runNativeJit(const LoopProgram &LP, uint64_t Seed,
   return SharedEngine.run(LP, Seed, Info);
 }
 
+RunResult exec::runNativeJitSimd(const LoopProgram &LP, uint64_t Seed,
+                                 JitRunInfo *Info) {
+  static JitEngine SharedEngine([] {
+    JitOptions Opts;
+    Opts.Vectorize = true;
+    return Opts;
+  }());
+  return SharedEngine.run(LP, Seed, Info);
+}
+
 SanitizedRunResult exec::runSanitized(const LoopProgram &LP, uint64_t Seed,
                                       const JitOptions &InOpts) {
   SanitizedRunResult R;
@@ -399,8 +444,13 @@ SanitizedRunResult exec::runSanitized(const LoopProgram &LP, uint64_t Seed,
   if (Opts.CacheDir.empty())
     Opts.CacheDir = defaultCacheDir();
 
+  scalarize::CEmitOptions EmitOpts;
+  EmitOpts.Vectorize = Opts.Vectorize;
+  EmitOpts.VectorWidth = Opts.VectorWidth;
+  if (Opts.Vectorize)
+    Opts.SanitizeFlags += " -march=native -Wno-psabi";
   scalarize::CEmitResult Src =
-      scalarize::emitCWithHarnessChecked(LP, KernelName, Seed);
+      scalarize::emitCWithHarnessChecked(LP, KernelName, Seed, EmitOpts);
   if (!Src.ok()) {
     R.Output = "emission failed: " + Src.Error;
     return R;

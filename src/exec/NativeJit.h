@@ -63,6 +63,17 @@ struct JitOptions {
   /// killed and treated as a compile failure. 0 disables the limit.
   unsigned CompileTimeoutSec = 60;
 
+  /// Selects the vectorizing emission mode (scalarize::CEmitOptions):
+  /// loop nests the legality check certifies are emitted as explicit SIMD
+  /// loops over the innermost FIND-LOOP-STRUCTURE dimension; the rest
+  /// keep the scalar spelling. Results stay bit-identical to the
+  /// interpreter except where a float + reduction is lane-split
+  /// (JitRunInfo::Reassociated; compare with support::Tolerance).
+  bool Vectorize = false;
+
+  /// Lanes per vector accumulator/load/store in vectorize mode.
+  unsigned VectorWidth = 4;
+
   /// Upper bound, in bytes, on the on-disk kernel cache (shared objects
   /// plus their paired sources). After each install the oldest entries by
   /// modification time are evicted until the directory fits; the entry
@@ -104,6 +115,11 @@ struct JitRunInfo {
   bool CacheHitDisk = false;   ///< Loaded a previously compiled .so.
   std::string FallbackReason;  ///< Why the interpreter ran instead ("" = jit).
   std::string SoPath;          ///< Cache entry backing this kernel.
+
+  // Vectorize-mode outcome (JitOptions::Vectorize only).
+  unsigned VectorizedNests = 0; ///< Nests emitted as SIMD loops.
+  unsigned VectorFallbacks = 0; ///< Nests the legality check refused.
+  bool Reassociated = false;    ///< A float + fold was lane-split.
 };
 
 /// A JIT compilation engine: owns the loaded kernels of one process and
@@ -206,6 +222,14 @@ private:
 /// dispatches to.
 RunResult runNativeJit(const lir::LoopProgram &LP, uint64_t Seed,
                        JitRunInfo *Info = nullptr);
+
+/// Like runNativeJit, but through a second process-wide shared engine
+/// with the vectorizing emission mode on (JitOptions::Vectorize). This is
+/// what ExecMode::NativeJitSimd dispatches to. The two shared engines
+/// never collide in the kernel cache: vectorized modules differ in source
+/// and flags, so their content hashes differ.
+RunResult runNativeJitSimd(const lir::LoopProgram &LP, uint64_t Seed,
+                           JitRunInfo *Info = nullptr);
 
 /// The sanitizer-tier dynamic oracle: emits \p LP's kernel together with
 /// its self-seeding main() harness (scalarize::emitCWithHarnessChecked,

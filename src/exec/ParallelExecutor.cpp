@@ -53,8 +53,8 @@ std::vector<bool> wrappedDims(const LoopProgram &LP, const LoopNest &Nest) {
 /// leftover scalar values match the interpreter exactly.
 void runNestParallel(const LoopNest &Nest, EvalContext &Shared,
                      ThreadPool &Pool, const NestParallelPlan &Plan) {
-  for (const auto &[Acc, Init] : Nest.ScalarInits)
-    Shared.writeScalar(Acc, Init);
+  for (const lir::ScalarInit &SI : Nest.ScalarInits)
+    Shared.writeScalar(SI.Acc, SI.Init);
 
   const Region &R = *Nest.R;
   unsigned SplitLoop = static_cast<unsigned>(Plan.ParallelLoop);
@@ -237,6 +237,9 @@ std::string exec::describeSchedule(const LoopProgram &LP,
   if (Mode == ExecMode::NativeJit)
     Report += "(nests compile into one native kernel; per-nest parallel "
               "plans do not apply)\n";
+  else if (Mode == ExecMode::NativeJitSimd)
+    Report += "(nests compile into one native kernel with SIMD inner "
+              "loops; per-nest parallel plans do not apply)\n";
   return Report + describeSchedule(LP, Sched);
 }
 
@@ -249,6 +252,8 @@ RunResult exec::runWithMode(const LoopProgram &LP, uint64_t Seed,
     return runParallel(LP, Seed, Opts);
   case ExecMode::NativeJit:
     return runNativeJit(LP, Seed);
+  case ExecMode::NativeJitSimd:
+    return runNativeJitSimd(LP, Seed);
   }
   alf_unreachable("unhandled execution mode");
 }

@@ -142,6 +142,7 @@ public:
   };
   std::map<std::string, std::unique_ptr<CacheEntry>> Cache;
   std::unique_ptr<exec::JitEngine> Jit;
+  std::unique_ptr<exec::JitEngine> JitSimd; // Opts.Jit with Vectorize on
 
   explicit EngineImpl(EngineOptions InOpts) : Opts(std::move(InOpts)) {}
 
@@ -527,6 +528,20 @@ void EngineImpl::execute(CacheEntry &E, FlushInfo &Info) {
       Jit = std::make_unique<exec::JitEngine>(Opts.Jit);
     exec::JitRunInfo JI;
     Jit->runOnStorage(LP, Store, &JI);
+    Info.Compiled = JI.Compiled;
+    Info.UsedJit = JI.UsedJit;
+    if (JI.Compiled)
+      ++Stats.KernelCompiles;
+    break;
+  }
+  case xform::ExecMode::NativeJitSimd: {
+    if (!JitSimd) {
+      exec::JitOptions JO = Opts.Jit;
+      JO.Vectorize = true;
+      JitSimd = std::make_unique<exec::JitEngine>(JO);
+    }
+    exec::JitRunInfo JI;
+    JitSimd->runOnStorage(LP, Store, &JI);
     Info.Compiled = JI.Compiled;
     Info.UsedJit = JI.UsedJit;
     if (JI.Compiled)

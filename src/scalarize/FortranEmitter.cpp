@@ -186,14 +186,14 @@ public:
   }
 
   void emitNest(const LoopNest &Nest) {
-    for (const auto &[Acc, Init] : Nest.ScalarInits) {
+    for (const lir::ScalarInit &SI : Nest.ScalarInits) {
       std::string InitText;
-      if (std::isinf(Init))
-        InitText = Init > 0 ? "1.797693134862315D308"
-                            : "-1.797693134862315D308";
+      if (std::isinf(SI.Init))
+        InitText = SI.Init > 0 ? "1.797693134862315D308"
+                               : "-1.797693134862315D308";
       else
-        InitText = literal(Init);
-      emitLine(nameOf(Acc) + " = " + InitText);
+        InitText = literal(SI.Init);
+      emitLine(nameOf(SI.Acc) + " = " + InitText);
     }
     unsigned Indent = 0;
     for (unsigned L = 0; L < Nest.LSV.rank(); ++L) {

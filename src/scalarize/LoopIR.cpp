@@ -86,8 +86,9 @@ void LoopProgram::print(std::ostream &OS) const {
        << Array->getName() << '\n';
   for (const auto &NodePtr : Nodes) {
     if (const auto *Loop = dyn_cast<LoopNest>(NodePtr.get())) {
-      for (const auto &[Acc, Init] : Loop->ScalarInits)
-        OS << Acc->getName() << " = " << formatString("%g", Init) << ";\n";
+      for (const ScalarInit &SI : Loop->ScalarInits)
+        OS << SI.Acc->getName() << " = " << formatString("%g", SI.Init)
+           << ";\n";
       std::string Indent;
       for (unsigned L = 0; L < Loop->LSV.rank(); ++L) {
         unsigned Dim = Loop->LSV.dimOf(L);

@@ -81,6 +81,18 @@ public:
   LNodeKind getKind() const { return Kind; }
 };
 
+/// Initialization of one reduction accumulator before its nest runs: the
+/// ⊕-identity value plus the semiring whose ⊕ will fold into it. The
+/// semiring travels with the init so lane-splitting backends (the
+/// vectorizing C emitter) know how to seed every vector lane with the
+/// identity and fold the lanes back together at loop exit without
+/// re-deriving the algebra from the body.
+struct ScalarInit {
+  const ir::ScalarSymbol *Acc = nullptr;
+  double Init = 0.0; ///< 0̄ of SR; splat across all lanes when vectorized
+  const semiring::Semiring *SR = &semiring::plusTimes();
+};
+
 /// A loop nest implementing one fusible cluster. Accumulators of any
 /// reductions in the body are initialized to their identity before the
 /// nest runs (ScalarInits).
@@ -89,7 +101,7 @@ public:
   xform::LoopStructureVector LSV;
   const ir::Region *R = nullptr;
   std::vector<ScalarStmt> Body;
-  std::vector<std::pair<const ir::ScalarSymbol *, double>> ScalarInits;
+  std::vector<ScalarInit> ScalarInits;
   unsigned ClusterId = 0;
 
   /// The unconstrained distance vectors of all dependences internal to

@@ -276,8 +276,9 @@ scalarize::scalarizeChecked(const ASDG &G, const StrategyResult &SR,
         SS.RHS = cloneExprRewriting(RS->getBody(), RewriteContracted);
         SS.Accumulate = true;
         SS.SR = &RS->getSemiring();
-        Nest->ScalarInits.push_back(
-            {RS->getAccumulator(), RS->getSemiring().PlusIdentity});
+        Nest->ScalarInits.push_back({RS->getAccumulator(),
+                                     RS->getSemiring().PlusIdentity,
+                                     &RS->getSemiring()});
         Nest->Body.push_back(std::move(SS));
         continue;
       }

@@ -29,6 +29,25 @@ double semiring::applyOp(OpKind K, double A, double B) {
   return A;
 }
 
+VecFold semiring::vecFoldKind(OpKind K) {
+  switch (K) {
+  case OpKind::Add:
+  case OpKind::Mul:
+    return VecFold::Arith;
+  case OpKind::Min:
+  case OpKind::Max:
+    return VecFold::Compare;
+  case OpKind::Or:
+  case OpKind::And:
+    return VecFold::Bitwise;
+  case OpKind::Sub:
+    // Non-associative: lane folds compute a different bracketing, so no
+    // lane spelling exists. Only the fault-injection "semiring" uses Sub.
+    return VecFold::None;
+  }
+  return VecFold::None;
+}
+
 const char *semiring::getOpName(OpKind K) {
   switch (K) {
   case OpKind::Add:

@@ -49,6 +49,23 @@ enum class OpKind { Add, Mul, Min, Max, Or, And, Sub };
 /// across backends) even on off-carrier inputs.
 double applyOp(OpKind K, double A, double B);
 
+/// How a lane-splitting backend (the vectorizing C emitter above all) may
+/// fold an operator across SIMD lanes. The class decides both whether a
+/// reduction is vectorizable at all and what the divergence contract of
+/// the result is: every class except Arith folds bit-identically to the
+/// sequential spelling, so only Arith ⊕ reductions need ULP tolerance.
+enum class VecFold {
+  None,    ///< Not lane-foldable (Sub: the planted non-associative ⊕).
+  Arith,   ///< Lane-wise vector arithmetic (+, ×); reassociates float +.
+  Compare, ///< Lane-wise compare+select (min, max); selects operand bits,
+           ///< so per-lane results are bit-identical to the scalar fold.
+  Bitwise, ///< Lane-wise mask algebra (or, and) over canonical {0.0, 1.0};
+           ///< bit-identical by construction.
+};
+
+/// The lane-fold class of \p K (the per-op vectorizability table).
+VecFold vecFoldKind(OpKind K);
+
 /// Spelling of \p K as a reduction operator ("+", "min", "max", "or", ...).
 const char *getOpName(OpKind K);
 
@@ -80,6 +97,12 @@ struct Semiring {
 
   /// Spelling of ⊕ as a reduction operator ("+", "min", "max", "or").
   const char *plusName() const { return getOpName(Plus); }
+
+  /// True when a backend may keep this semiring's accumulators in SIMD
+  /// lanes: ⊕ has a lane-fold class. Exact semirings that pass this test
+  /// stay bit-identical under lane splitting (their VecFold is Compare or
+  /// Bitwise); a vectorized non-Exact ⊕ (plus-times) reassociates.
+  bool vectorizablePlus() const { return vecFoldKind(Plus) != VecFold::None; }
 };
 
 /// The registry instances. Addresses are stable for the process lifetime;

@@ -70,6 +70,9 @@ Server::Server(ServerOptions InOpts) : Opts(std::move(InOpts)) {
   CompileQueue = std::make_unique<TaskQueue>(Opts.CompileThreads);
   Cache = std::make_unique<KernelCache>(Opts.CacheShards, CompileQueue.get());
   Jit = std::make_unique<exec::JitEngine>(Opts.Jit);
+  exec::JitOptions SimdOpts = Opts.Jit;
+  SimdOpts.Vectorize = true;
+  JitSimd = std::make_unique<exec::JitEngine>(SimdOpts);
 }
 
 Server::~Server() {
@@ -457,6 +460,9 @@ json::Value Server::handleExecute(const json::Value &Req) {
   case xform::ExecMode::NativeJit:
     RR = Jit->run(Entry->CP->LP, Seed, &JitInfo);
     break;
+  case xform::ExecMode::NativeJitSimd:
+    RR = JitSimd->run(Entry->CP->LP, Seed, &JitInfo);
+    break;
   }
 
   json::Value V = CompileResp;
@@ -476,12 +482,22 @@ json::Value Server::handleExecute(const json::Value &Req) {
     Arrays.set(Name, A);
   }
   V.set("arrays", Arrays);
-  if (*Mode == xform::ExecMode::NativeJit) {
+  if (*Mode == xform::ExecMode::NativeJit ||
+      *Mode == xform::ExecMode::NativeJitSimd) {
     json::Value J = json::Value::object();
     J.set("used_jit", json::Value::boolean(JitInfo.UsedJit));
     J.set("compiled", json::Value::boolean(JitInfo.Compiled));
     if (!JitInfo.FallbackReason.empty())
       J.set("fallback", json::Value::str(JitInfo.FallbackReason));
+    if (*Mode == xform::ExecMode::NativeJitSimd) {
+      J.set("vectorized_nests",
+            json::Value::number(
+                static_cast<double>(JitInfo.VectorizedNests)));
+      J.set("vector_fallbacks",
+            json::Value::number(
+                static_cast<double>(JitInfo.VectorFallbacks)));
+      J.set("reassociated", json::Value::boolean(JitInfo.Reassociated));
+    }
     V.set("jit", J);
   }
   return V;

@@ -138,6 +138,7 @@ private:
   std::unique_ptr<TaskQueue> CompileQueue;
   std::unique_ptr<KernelCache> Cache;
   std::unique_ptr<exec::JitEngine> Jit;
+  std::unique_ptr<exec::JitEngine> JitSimd; // Opts.Jit with Vectorize on
 
   // Request counters (stats op).
   std::atomic<uint64_t> NumRequests{0}, NumCompileReqs{0}, NumExecuteReqs{0},

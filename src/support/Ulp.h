@@ -1,0 +1,97 @@
+//===- support/Ulp.h - ULP-aware float comparison --------------*- C++ -*-===//
+//
+// Part of the ALF project: array-level fusion and contraction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Units-in-the-last-place distance between doubles, and the declared
+/// tolerance modes the differential harnesses compare under. Backends are
+/// bit-identical to the interpreter by construction — with exactly one
+/// sanctioned exception: the vectorizing JIT keeps ⊕-accumulators in
+/// vector lanes and folds the lanes at loop exit, which reassociates
+/// floating-point `+` reductions. Every comparison therefore declares its
+/// tolerance up front:
+///
+///   Exact             0 ULP. Elementwise code, integer-valued programs,
+///                     and every Exact semiring (min/max/or return one of
+///                     their operands, so reassociation cannot change the
+///                     result).
+///   ReassociatedFloat The program contains a float `+` reduction a
+///                     lane-splitting backend may legally reorder; results
+///                     agree within a small ULP budget.
+///
+/// The distance is the symmetric integer gap between the two values'
+/// positions in the monotone ordering of finite doubles (sign-magnitude
+/// bits mapped to a lexicographically ordered integer line). +0.0 and
+/// -0.0 are 0 apart; NaN is infinitely far from everything, including
+/// itself — a NaN produced on one side but not the other is a real
+/// divergence, never "close".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALF_SUPPORT_ULP_H
+#define ALF_SUPPORT_ULP_H
+
+#include <cstdint>
+#include <cstring>
+
+namespace alf {
+namespace support {
+
+/// Declared comparison tolerance of one differential check.
+enum class Tolerance {
+  Exact,             ///< 0 ULP: any difference is a failure.
+  ReassociatedFloat, ///< bounded ULP: float + folds were reordered.
+};
+
+/// Printable name ("exact", "reassociated-float").
+inline const char *getToleranceName(Tolerance T) {
+  return T == Tolerance::Exact ? "exact" : "reassociated-float";
+}
+
+namespace detail {
+/// Maps a double onto the integer line where adjacent representable
+/// values differ by exactly 1 and ordering matches numeric ordering
+/// (the classic sign-magnitude-to-biased trick).
+inline int64_t ulpIndex(double V) {
+  int64_t Bits;
+  static_assert(sizeof(Bits) == sizeof(V), "double must be 64-bit");
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  return Bits < 0 ? static_cast<int64_t>(INT64_MIN) - Bits : Bits;
+}
+} // namespace detail
+
+/// The ULP distance between \p A and \p B; UINT64_MAX when either is NaN
+/// (unless both are bit-identical NaNs, which count as 0 — the backends
+/// propagated the very same value). Infinities are ordinary points on the
+/// line: inf vs. the largest finite double is 1 ULP apart, inf vs. inf of
+/// the same sign is 0.
+inline uint64_t ulpDistance(double A, double B) {
+  int64_t IA, IB;
+  std::memcpy(&IA, &A, sizeof(IA));
+  std::memcpy(&IB, &B, sizeof(IB));
+  if (IA == IB)
+    return 0; // covers identical NaN bits and -0.0 vs -0.0
+  if (A != A || B != B)
+    return UINT64_MAX;
+  int64_t X = detail::ulpIndex(A), Y = detail::ulpIndex(B);
+  return X > Y ? static_cast<uint64_t>(X) - static_cast<uint64_t>(Y)
+               : static_cast<uint64_t>(Y) - static_cast<uint64_t>(X);
+}
+
+/// True when \p A and \p B agree under \p T: bit-equal numeric values for
+/// Exact (+0.0 == -0.0 is allowed — both compare equal — but NaN never
+/// matches a non-NaN), within \p MaxUlps for ReassociatedFloat.
+inline bool agreeWithin(double A, double B, Tolerance T,
+                        uint64_t MaxUlps = 0) {
+  uint64_t D = ulpDistance(A, B);
+  if (T == Tolerance::Exact)
+    return D == 0 || A == B; // A == B admits +0.0 vs -0.0
+  return D <= MaxUlps || A == B;
+}
+
+} // namespace support
+} // namespace alf
+
+#endif // ALF_SUPPORT_ULP_H

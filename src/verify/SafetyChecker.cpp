@@ -308,10 +308,8 @@ void checkInit(const SafetyContext &Ctx, VerifyReport &Out) {
     if (!Nest)
       continue;
     std::set<const ScalarSymbol *> Local;
-    for (const auto &[S, Init] : Nest->ScalarInits) {
-      (void)Init;
-      Local.insert(S);
-    }
+    for (const lir::ScalarInit &SI : Nest->ScalarInits)
+      Local.insert(SI.Acc);
     for (const ScalarStmt &SS : Nest->Body) {
       // Reads first: an accumulation reads its own LHS.
       ++NumInitObligations;

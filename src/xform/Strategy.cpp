@@ -17,6 +17,15 @@ const std::vector<Strategy> &xform::allStrategies() {
   return All;
 }
 
+const std::vector<Strategy> &xform::allStrategiesForTest() {
+  static const std::vector<Strategy> All = [] {
+    std::vector<Strategy> S = allStrategies();
+    S.push_back(Strategy::IlpOptimal);
+    return S;
+  }();
+  return All;
+}
+
 const char *xform::getStrategyName(Strategy S) {
   switch (S) {
   case Strategy::Baseline:
@@ -52,7 +61,8 @@ std::optional<Strategy> xform::strategyNamed(const std::string &Name) {
 
 const std::vector<ExecMode> &xform::allExecModes() {
   static const std::vector<ExecMode> All = {
-      ExecMode::Sequential, ExecMode::Parallel, ExecMode::NativeJit};
+      ExecMode::Sequential, ExecMode::Parallel, ExecMode::NativeJit,
+      ExecMode::NativeJitSimd};
   return All;
 }
 
@@ -64,6 +74,8 @@ const char *xform::getExecModeName(ExecMode M) {
     return "parallel";
   case ExecMode::NativeJit:
     return "jit";
+  case ExecMode::NativeJitSimd:
+    return "jit-simd";
   }
   alf_unreachable("unhandled execution mode");
 }

@@ -46,6 +46,12 @@ enum class Strategy { Baseline, F1, C1, F2, F3, C2, C2F3, C2F4, IlpOptimal };
 /// is selected explicitly by name.
 const std::vector<Strategy> &allStrategies();
 
+/// Every strategy the compiler can run, including IlpOptimal. Sweep-style
+/// tests iterate this list so differential coverage cannot silently skip
+/// the exact partitioner; figure and golden-output code stays on
+/// allStrategies().
+const std::vector<Strategy> &allStrategiesForTest();
+
 /// Printable name ("baseline", "f1", ..., "c2+f4", "ilp").
 const char *getStrategyName(Strategy S);
 
@@ -59,13 +65,16 @@ std::optional<Strategy> strategyNamed(const std::string &Name);
 /// legality comes from the same UDVs fusion computed), or as a native
 /// kernel JIT-compiled from the emitted C with the system compiler
 /// (exec/NativeJit, falling back to the interpreter when no compiler is
-/// available).
-enum class ExecMode { Sequential, Parallel, NativeJit };
+/// available). NativeJitSimd is the JIT with the vectorizing emitter:
+/// nests whose FIND-LOOP-STRUCTURE innermost dimension is provably
+/// stride-1 and carries no dependence run as explicit SIMD loops;
+/// everything else falls back to the scalar spelling per nest.
+enum class ExecMode { Sequential, Parallel, NativeJit, NativeJitSimd };
 
 /// All execution modes, sequential first.
 const std::vector<ExecMode> &allExecModes();
 
-/// Printable name ("sequential", "parallel", "jit").
+/// Printable name ("sequential", "parallel", "jit", "jit-simd").
 const char *getExecModeName(ExecMode M);
 
 /// Looks up an execution mode by its printable name; nullopt when unknown.

@@ -310,7 +310,7 @@ TEST(StrategyTest, AllStrategiesProduceValidPartitions) {
   auto P = tp::makeTomcatvFragment();
   normalizeProgram(*P);
   ASDG G = ASDG::build(*P);
-  for (Strategy S : allStrategies()) {
+  for (Strategy S : allStrategiesForTest()) {
     StrategyResult SR = applyStrategy(G, S);
     EXPECT_TRUE(isValidPartition(SR.Partition)) << getStrategyName(S);
     // Contracted arrays must satisfy Definition 6 in the final partition.

@@ -99,7 +99,7 @@ TEST(InterpreterTest, TomcatvAllStrategiesAgree) {
   ASDG G = ASDG::build(*P);
   auto Base = scalarize::scalarizeWithStrategy(G, Strategy::Baseline);
   RunResult BaseRes = run(Base, 99);
-  for (Strategy S : allStrategies()) {
+  for (Strategy S : allStrategiesForTest()) {
     auto LP = scalarize::scalarizeWithStrategy(G, S);
     std::string Why;
     EXPECT_TRUE(resultsMatch(BaseRes, run(LP, 99), 0.0, &Why))
@@ -153,7 +153,7 @@ TEST_P(StrategyEquivalence, AllStrategiesPreserveSemantics) {
   auto Base = scalarize::scalarizeWithStrategy(G, Strategy::Baseline);
   RunResult BaseRes = run(Base, C.Seed ^ 0xabcdef);
 
-  for (Strategy S : allStrategies()) {
+  for (Strategy S : allStrategiesForTest()) {
     StrategyResult SR = applyStrategy(G, S);
     EXPECT_TRUE(isValidPartition(SR.Partition)) << getStrategyName(S);
     auto LP = scalarize::scalarize(G, SR);

@@ -70,7 +70,7 @@ TEST(NativeJitTest, BitIdenticalToInterpreterAcrossStrategies) {
   auto P = tp::makeUserTempPair();
   ir::normalizeProgram(*P);
   ASDG G = ASDG::build(*P);
-  for (Strategy S : allStrategies()) {
+  for (Strategy S : allStrategiesForTest()) {
     auto LP = scalarize::scalarizeWithStrategy(G, S);
     RunResult Interp = run(LP, 7);
     JitRunInfo Info;
@@ -328,6 +328,68 @@ TEST(NativeJitTest, ExecModeDispatchesToJit) {
   RunResult Jit = runWithMode(LP, 21, ExecMode::NativeJit);
   std::string Why;
   EXPECT_TRUE(resultsMatch(Seq, Jit, 0.0, &Why)) << Why;
+}
+
+// The vectorizer's legality check is only trustworthy if a nest it
+// should refuse actually takes the scalar fallback. The emitter-side
+// fault hook plants a cross-lane carried-dependence verdict in every
+// nest of a program that demonstrably vectorizes without it; the engine
+// must emit the scalar spelling instead (counted per nest in the
+// jit.vectorize fallback statistic), and the faulted kernel must still
+// match the interpreter bit-for-bit.
+TEST(NativeJitTest, PlantedCarriedDependenceForcesScalarFallback) {
+  if (!HaveCompiler)
+    GTEST_SKIP() << "no usable system C compiler";
+  TempCacheDir Cache;
+  JitOptions Opts;
+  Opts.CacheDir = Cache.Path;
+  Opts.Vectorize = true;
+  JitEngine Engine(Opts);
+
+  auto P = tp::makeUserTempPair();
+  auto LP = makeLoopProgram(*P);
+  ASSERT_EQ(scalarize::simdToleranceFor(LP), support::Tolerance::Exact);
+
+  // Control: with no fault planted, this program vectorizes.
+  JitRunInfo Clean;
+  RunResult CleanRes = Engine.run(LP, 29, &Clean);
+  ASSERT_TRUE(Clean.UsedJit) << Clean.FallbackReason;
+  ASSERT_GT(Clean.VectorizedNests, 0u);
+
+  uint64_t FallbacksBefore =
+      getStatisticValue("jit.vectorize", "NumVectorizeFallbacks");
+  scalarize::setVectorizeFaultForTest(
+      scalarize::VectorizeFault::CarriedInnermost);
+  JitRunInfo Info;
+  RunResult Faulted = Engine.run(LP, 29, &Info);
+  bool Applied = scalarize::vectorizeFaultAppliedForTest();
+  scalarize::setVectorizeFaultForTest(scalarize::VectorizeFault::None);
+
+  ASSERT_TRUE(Applied) << "fault hook never reached the legality check";
+  ASSERT_TRUE(Info.UsedJit) << Info.FallbackReason;
+  EXPECT_EQ(Info.VectorizedNests, 0u);
+  EXPECT_GE(Info.VectorFallbacks, Clean.VectorizedNests);
+  EXPECT_GE(getStatisticValue("jit.vectorize", "NumVectorizeFallbacks"),
+            FallbacksBefore + Info.VectorFallbacks);
+
+  // The refused nests ran in their scalar spelling; this program is
+  // declared Exact, so the faulted run, the vectorized control and the
+  // interpreter all agree bit-for-bit.
+  std::string Why;
+  EXPECT_TRUE(resultsMatch(run(LP, 29), Faulted, 0.0, &Why)) << Why;
+  EXPECT_TRUE(resultsMatch(CleanRes, Faulted, 0.0, &Why)) << Why;
+}
+
+// jit-simd through the mode dispatcher, compiler or not: NativeJitSimd
+// degrades to the interpreter exactly like NativeJit.
+TEST(NativeJitTest, ExecModeDispatchesToJitSimd) {
+  auto P = tp::makeTomcatvFragment();
+  auto LP = makeLoopProgram(*P, Strategy::C2F3);
+  ASSERT_EQ(scalarize::simdToleranceFor(LP), support::Tolerance::Exact);
+  RunResult Seq = run(LP, 23);
+  RunResult Simd = runWithMode(LP, 23, ExecMode::NativeJitSimd);
+  std::string Why;
+  EXPECT_TRUE(resultsMatch(Seq, Simd, 0.0, &Why)) << Why;
 }
 
 TEST(NativeJitTest, ScalarizeCheckedReportsSuccess) {

@@ -165,7 +165,7 @@ TEST(ParallelLegalityTest, ReversedLoopRespectsConstrainedDistance) {
 TEST(ParallelExecTest, ElementwiseProgramMatchesAllThreadCounts) {
   auto P = tp::makeFigure2(12, 9);
   ASDG G = ASDG::build(*P);
-  for (Strategy S : allStrategies()) {
+  for (Strategy S : allStrategiesForTest()) {
     auto LP = scalarize::scalarizeWithStrategy(G, S);
     expectParallelMatches(LP, 101);
   }
@@ -303,9 +303,12 @@ TEST(ParallelExecTest, ExecModeDispatchAndNames) {
   EXPECT_STREQ(getExecModeName(ExecMode::Sequential), "sequential");
   EXPECT_STREQ(getExecModeName(ExecMode::Parallel), "parallel");
   EXPECT_STREQ(getExecModeName(ExecMode::NativeJit), "jit");
-  EXPECT_EQ(allExecModes().size(), 3u);
+  EXPECT_STREQ(getExecModeName(ExecMode::NativeJitSimd), "jit-simd");
+  EXPECT_EQ(allExecModes().size(), 4u);
   ASSERT_TRUE(execModeNamed("jit").has_value());
   EXPECT_EQ(*execModeNamed("jit"), ExecMode::NativeJit);
+  ASSERT_TRUE(execModeNamed("jit-simd").has_value());
+  EXPECT_EQ(*execModeNamed("jit-simd"), ExecMode::NativeJitSimd);
   EXPECT_FALSE(execModeNamed("warp").has_value());
 
   auto P = tp::makeUserTempPair();

@@ -34,7 +34,7 @@ TEST(PipelineTest, MatchesHandAssembledChain) {
   auto Facade = tp::makeUserTempPair();
   Pipeline PL(*Facade);
 
-  for (Strategy S : allStrategies()) {
+  for (Strategy S : allStrategiesForTest()) {
     auto Expected = scalarize::scalarizeWithStrategy(G, S);
     EXPECT_EQ(PL.scalarize(S).str(), Expected.str()) << getStrategyName(S);
   }
@@ -116,7 +116,7 @@ TEST(TryCompileTest, OkProducesStatusWithArtifactAndStrategy) {
 TEST(TryCompileTest, ReentrantAcrossStrategies) {
   auto P = tp::makeTomcatvFragment();
   Pipeline PL(*P);
-  for (Strategy S : allStrategies()) {
+  for (Strategy S : allStrategiesForTest()) {
     CompileRequest Req;
     Req.Strat = S;
     CompileStatus St = PL.tryCompile(Req);

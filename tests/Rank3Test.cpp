@@ -58,7 +58,7 @@ TEST(Rank3Test, ContractionAndStrategies) {
 
   auto Base = scalarize::scalarizeWithStrategy(G, Strategy::Baseline);
   RunResult BaseRes = run(Base, 303);
-  for (Strategy S : allStrategies()) {
+  for (Strategy S : allStrategiesForTest()) {
     auto LP = scalarize::scalarizeWithStrategy(G, S);
     std::string Why;
     EXPECT_TRUE(resultsMatch(BaseRes, run(LP, 303), 0.0, &Why))

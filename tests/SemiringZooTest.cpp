@@ -205,6 +205,31 @@ void checkPivotSweep(std::unique_ptr<Program> P,
     std::filesystem::remove_all(Dir, EC);
   }
 
+  // Vectorizing JIT on the contracted program. The zoo's ⊕ folds are
+  // compare selects (min-plus, or-and-as-max) that return one of their
+  // operands bit-for-bit, so simdToleranceFor declares these programs
+  // Exact and lane-splitting the reductions must still reproduce the
+  // scalar reference to the bit — no ULP allowance.
+  if (JitEngine::compilerAvailable()) {
+    lir::LoopProgram LP = PL.scalarize(Strategy::C2F3);
+    EXPECT_EQ(scalarize::simdToleranceFor(LP), support::Tolerance::Exact);
+    std::string Dir =
+        formatString("/tmp/alf_zoo_simd_%d", static_cast<int>(getpid()));
+    JitOptions JO;
+    JO.CacheDir = Dir;
+    JO.Vectorize = true;
+    JitEngine Jit(JO);
+    Storage Store = allocateStorage(LP, /*Seed=*/1);
+    fillRows(PL.program(), Store, In);
+    JitRunInfo Info;
+    Jit.runOnStorage(LP, Store, &Info);
+    EXPECT_TRUE(Info.UsedJit)
+        << "jit-simd fell back: " << Info.FallbackReason;
+    expectRowsEqual(collectResults(LP, Store), Ref, "jit-simd/c2+f3");
+    std::error_code EC;
+    std::filesystem::remove_all(Dir, EC);
+  }
+
   EXPECT_TRUE(Collected.ok())
       << "verification findings:\n" << Collected.str();
 }
@@ -246,6 +271,40 @@ TEST(SemiringZooTest, KnnBestScoresMatchScalarReference) {
           << getStrategyName(S) << " best" << C;
     }
   }
+
+  // The same folds through the vectorizing JIT: max-times is an Exact
+  // semiring (⊕ selects an operand), so the lane-split accumulators must
+  // still land on the reference bit-for-bit.
+  if (JitEngine::compilerAvailable()) {
+    lir::LoopProgram LP = PL.scalarize(Strategy::C2F3);
+    EXPECT_EQ(scalarize::simdToleranceFor(LP), support::Tolerance::Exact);
+    std::string Dir =
+        formatString("/tmp/alf_zoo_knn_simd_%d", static_cast<int>(getpid()));
+    JitOptions JO;
+    JO.CacheDir = Dir;
+    JO.Vectorize = true;
+    JitEngine Jit(JO);
+    Storage Store = allocateStorage(LP, /*Seed=*/1);
+    const ArraySymbol *F = arrayNamed(PL.program(), "f");
+    ASSERT_NE(F, nullptr);
+    ArrayBuffer *B = Store.buffer(F);
+    ASSERT_NE(B, nullptr);
+    for (int64_t J = 0; J < N; ++J)
+      B->store({J + 1}, knnInput(J));
+    JitRunInfo Info;
+    Jit.runOnStorage(LP, Store, &Info);
+    EXPECT_TRUE(Info.UsedJit)
+        << "jit-simd fell back: " << Info.FallbackReason;
+    RunResult Res = collectResults(LP, Store);
+    for (unsigned C = 0; C < 5; ++C) {
+      auto It = Res.ScalarsOut.find(formatString("best%u", C));
+      ASSERT_NE(It, Res.ScalarsOut.end()) << "jit-simd best" << C;
+      EXPECT_EQ(It->second, knnReference(C)) << "jit-simd best" << C;
+    }
+    std::error_code EC;
+    std::filesystem::remove_all(Dir, EC);
+  }
+
   EXPECT_TRUE(Collected.ok())
       << "verification findings:\n" << Collected.str();
 }

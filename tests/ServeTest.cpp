@@ -19,6 +19,7 @@
 #include "obs/Obs.h"
 #include "support/Statistic.h"
 #include "support/ThreadPool.h"
+#include "support/Ulp.h"
 
 #include <gtest/gtest.h>
 
@@ -519,6 +520,65 @@ TEST_F(ServerTest, SemiringOverrideIsItsOwnCacheKey) {
       roundTrip(Client::makeCompile(ServerSource, "", "", "", "no-such"));
   EXPECT_EQ(Bad.getBool("ok").value_or(true), false);
   EXPECT_EQ(Bad.getString("error").value_or(""), "malformed");
+}
+
+// One program, two jit tiers. ExecMode is part of the CompileKey, so
+// the scalar-jit and vectorizing-jit artifacts are distinct cache
+// entries — the daemon must never serve one tier the other's kernel —
+// and each key warms independently. The jit-simd response additionally
+// reports the vectorizer's outcome, which clients use to pick their
+// comparison tolerance.
+TEST_F(ServerTest, JitAndJitSimdAreDistinctCacheEntriesBothWarm) {
+  if (!exec::JitEngine::compilerAvailable())
+    GTEST_SKIP() << "no system C compiler";
+
+  json::Value Jit =
+      roundTrip(Client::makeExecute(ServerSource, "c2", "jit", "", 7));
+  ASSERT_EQ(Jit.getBool("ok").value_or(false), true)
+      << Jit.getString("message").value_or("");
+  EXPECT_EQ(Jit.getString("cache").value_or(""), "miss");
+  const json::Value *JI = Jit.get("jit");
+  ASSERT_NE(JI, nullptr);
+  EXPECT_EQ(JI->getBool("used_jit").value_or(false), true);
+  EXPECT_EQ(JI->get("vectorized_nests"), nullptr)
+      << "scalar tier must not report vectorizer fields";
+
+  json::Value Simd =
+      roundTrip(Client::makeExecute(ServerSource, "c2", "jit-simd", "", 7));
+  ASSERT_EQ(Simd.getBool("ok").value_or(false), true)
+      << Simd.getString("message").value_or("");
+  EXPECT_EQ(Simd.getString("cache").value_or(""), "miss")
+      << "jit-simd was served the scalar-jit artifact";
+  const json::Value *SI = Simd.get("jit");
+  ASSERT_NE(SI, nullptr);
+  EXPECT_EQ(SI->getBool("used_jit").value_or(false), true);
+  EXPECT_GE(SI->getNumber("vectorized_nests").value_or(0), 1);
+
+  // `s` is a float + fold the vectorizer lane-splits, so the response
+  // must declare the reassociation and the two tiers agree within a
+  // small ULP budget (bit-equality is not promised for this program).
+  EXPECT_EQ(SI->getBool("reassociated").value_or(false), true);
+  const json::Value *SA = Jit.get("scalars");
+  const json::Value *SB = Simd.get("scalars");
+  ASSERT_NE(SA, nullptr);
+  ASSERT_NE(SB, nullptr);
+  ASSERT_TRUE(SA->getNumber("s").has_value());
+  ASSERT_TRUE(SB->getNumber("s").has_value());
+  EXPECT_TRUE(support::agreeWithin(
+      *SA->getNumber("s"), *SB->getNumber("s"),
+      support::Tolerance::ReassociatedFloat, /*MaxUlps=*/16384))
+      << *SA->getNumber("s") << " vs " << *SB->getNumber("s");
+
+  // Warm replay: both keys hit, independently.
+  EXPECT_EQ(roundTrip(Client::makeExecute(ServerSource, "c2", "jit", "", 7))
+                .getString("cache")
+                .value_or(""),
+            "hit");
+  EXPECT_EQ(
+      roundTrip(Client::makeExecute(ServerSource, "c2", "jit-simd", "", 7))
+          .getString("cache")
+          .value_or(""),
+      "hit");
 }
 
 TEST_F(ServerTest, UnsafeProgramIsVettedBeforeCompileAndNegativelyCached) {

@@ -98,7 +98,7 @@ TEST(ToolOptionsTest, GoldenHelpText) {
       toolFlagsHelp(TF_All),
       "  --strategy=baseline|f1|c1|f2|f3|c2|c2+f3|c2+f4|ilp\n"
       "                         fusion/contraction strategy (default c2)\n"
-      "  --exec=sequential|parallel|jit\n"
+      "  --exec=sequential|parallel|jit|jit-simd\n"
       "                         execution mode\n"
       "  --verify=off|structural|full|safety\n"
       "                         translation-validation level (default full)\n"

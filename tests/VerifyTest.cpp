@@ -58,7 +58,7 @@ TEST(VerifyTest, CleanProgramIsFullyCertified) {
   ASDG G = ASDG::build(*P);
   EXPECT_TRUE(verify::verifyStructure(*P, &G).ok());
   EXPECT_TRUE(verify::verifyDependences(G).ok());
-  for (Strategy S : allStrategies()) {
+  for (Strategy S : allStrategiesForTest()) {
     StrategyResult SR = applyStrategy(G, S);
     verify::VerifyReport R = verify::verifyStrategy(G, SR);
     EXPECT_TRUE(R.ok()) << getStrategyName(S) << ":\n" << R.str();
@@ -306,7 +306,7 @@ TEST(VerifyTest, PipelineCollectsFindingsThroughHandler) {
   unsigned Calls = 0;
   PO.OnVerifyError = [&Calls](const verify::VerifyReport &) { ++Calls; };
   driver::Pipeline PL(*P, PO);
-  for (Strategy S : allStrategies())
+  for (Strategy S : allStrategiesForTest())
     (void)PL.scalarize(S);
   EXPECT_EQ(Calls, 0u);
   EXPECT_TRUE(PL.verifyFindings().ok()) << PL.verifyFindings().str();
@@ -336,7 +336,7 @@ TEST(VerifyTest, SafetyCertifiesCleanScalarizations) {
   for (auto &P : Programs) {
     normalizeProgram(*P);
     ASDG G = ASDG::build(*P);
-    for (Strategy S : allStrategies()) {
+    for (Strategy S : allStrategiesForTest()) {
       StrategyResult SR = applyStrategy(G, S);
       lir::LoopProgram LP = scalarize::scalarize(G, SR);
       verify::VerifyReport R = verify::verifySafety(LP, &G);

@@ -78,7 +78,7 @@ std::string tool::toolFlagsHelp(unsigned Flags) {
     S += "  --strategy=baseline|f1|c1|f2|f3|c2|c2+f3|c2+f4|ilp\n"
          "                         fusion/contraction strategy (default c2)\n";
   if (Flags & TF_Exec)
-    S += "  --exec=sequential|parallel|jit\n"
+    S += "  --exec=sequential|parallel|jit|jit-simd\n"
          "                         execution mode\n";
   if (Flags & TF_Verify)
     S += "  --verify=off|structural|full|safety\n"

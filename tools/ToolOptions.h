@@ -47,7 +47,7 @@ namespace tool {
 /// Which shared flags a tool accepts (a bitmask).
 enum ToolFlag : unsigned {
   TF_Strategy = 1u << 0, ///< --strategy=NAME
-  TF_Exec = 1u << 1,     ///< --exec=sequential|parallel|jit
+  TF_Exec = 1u << 1,     ///< --exec=sequential|parallel|jit|jit-simd
   TF_Verify = 1u << 2,   ///< --verify=off|structural|full
   TF_Trace = 1u << 3,    ///< --trace=FILE (implies trace-level obs)
   TF_Metrics = 1u << 4,  ///< --metrics (implies counters-level obs)
